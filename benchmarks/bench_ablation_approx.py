@@ -1,0 +1,59 @@
+"""Ablation: exact dynamic program versus the (1 + eps) approximate construction.
+
+Section 3.5 of the paper argues that for large relations the approximate
+construction should be preferred; this ablation quantifies the trade-off on
+the movie-linkage workload: construction time of each method and the realised
+error ratio (which must stay within the 1 + eps guarantee).
+"""
+
+import pytest
+
+from repro.evaluation import expected_error
+from repro.experiments import format_table
+from repro.histograms.approx import approximate_histogram
+from repro.histograms.dp import optimal_histogram
+from repro.histograms.factory import make_cost_function
+
+from conftest import write_result
+
+BUCKETS = 32
+EPSILONS = [0.05, 0.25, 1.0]
+
+
+@pytest.fixture(scope="module")
+def cost_fn(movie_model):
+    return make_cost_function(movie_model, "ssre", sanity=1.0)
+
+
+def test_ablation_exact_dp(benchmark, movie_model, cost_fn):
+    """Timing reference: the exact O(B n^2) construction."""
+    exact = benchmark.pedantic(optimal_histogram, args=(cost_fn, BUCKETS), rounds=1, iterations=1)
+    assert exact.bucket_count <= BUCKETS
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_ablation_approximate_dp(benchmark, movie_model, cost_fn, epsilon):
+    """The approximate construction honours its (1 + eps) guarantee and is cheap."""
+    exact = optimal_histogram(cost_fn, BUCKETS)
+    exact_error = expected_error(movie_model, exact, "ssre", sanity=1.0)
+
+    approx = benchmark.pedantic(
+        approximate_histogram, args=(cost_fn, BUCKETS, epsilon), rounds=1, iterations=1
+    )
+    approx_error = expected_error(movie_model, approx, "ssre", sanity=1.0)
+    assert approx_error <= (1.0 + epsilon) * exact_error + 1e-9
+
+    write_result(
+        f"ablation_approx_eps{epsilon}.txt",
+        format_table(
+            [
+                {"method": "exact", "buckets": BUCKETS, "expected_ssre": exact_error},
+                {
+                    "method": f"approximate(eps={epsilon})",
+                    "buckets": BUCKETS,
+                    "expected_ssre": approx_error,
+                },
+            ],
+            ["method", "buckets", "expected_ssre"],
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Figure 2(a)-(b): sum-squared-relative-error histograms, c = 0.5 and c = 1.0.
+
+Reproduces the paper's comparison of the optimal probabilistic construction
+against the expectation and sampled-world baselines on movie-linkage data,
+under SSRE with both sanity constants.  The timed kernel is the probabilistic
+DP construction; the quality series are written to ``benchmarks/results/``.
+"""
+
+import pytest
+
+from conftest import FIGURE2_BUDGETS, FIGURE2_DOMAIN
+from figure2_common import construct_probabilistic, run_and_check
+
+
+@pytest.mark.parametrize("sanity, figure", [(0.5, "2a"), (1.0, "2b")])
+def test_fig2_ssre_quality(benchmark, movie_model, sanity, figure):
+    """Quality sweep + timing of the SSRE-optimal construction (Figure 2a/2b)."""
+    result = run_and_check(
+        movie_model,
+        "ssre",
+        sanity,
+        FIGURE2_BUDGETS,
+        f"figure{figure}_ssre_c{sanity}_movie_n{FIGURE2_DOMAIN}.txt",
+    )
+    assert result.domain_size == FIGURE2_DOMAIN
+
+    benchmark.pedantic(
+        construct_probabilistic,
+        args=(movie_model, "ssre", sanity, max(FIGURE2_BUDGETS)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,72 @@
+"""Figure 3(a)-(b): histogram construction time versus n and versus B.
+
+The paper reports a close-to-quadratic dependence on the domain size n and a
+linear dependence on the bucket budget B (the O(B n^2) dynamic program).  The
+benchmarks below time the SSRE construction directly through pytest-benchmark
+at a sweep of sizes, and the scaling-shape assertions check the measured
+ratios against those bounds (with generous slack, since constant factors and
+NumPy overheads shift at small sizes).
+"""
+
+import pytest
+
+from repro.datasets import generate_movie_linkage
+from repro.experiments import run_timing_vs_buckets, run_timing_vs_domain, timing_table
+
+from conftest import write_result
+from figure2_common import construct_probabilistic
+
+DOMAIN_SWEEP = [128, 256, 512, 1024]
+BUCKET_SWEEP = [16, 32, 64, 128]
+FIXED_BUCKETS = 50
+FIXED_DOMAIN = 512
+
+
+@pytest.mark.parametrize("domain_size", DOMAIN_SWEEP)
+def test_fig3a_time_vs_domain(benchmark, domain_size):
+    """Construction time as n grows, B fixed (Figure 3a)."""
+    model = generate_movie_linkage(domain_size, seed=2009)
+    benchmark.pedantic(
+        construct_probabilistic,
+        args=(model, "ssre", 1.0, FIXED_BUCKETS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("buckets", BUCKET_SWEEP)
+def test_fig3b_time_vs_buckets(benchmark, buckets):
+    """Construction time as B grows, n fixed (Figure 3b)."""
+    model = generate_movie_linkage(FIXED_DOMAIN, seed=2009)
+    benchmark.pedantic(
+        construct_probabilistic,
+        args=(model, "ssre", 1.0, buckets),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig3_scaling_shape(benchmark):
+    """Measured scaling shape: superlinear in n, roughly linear in B."""
+    vs_domain = run_timing_vs_domain(DOMAIN_SWEEP, buckets=FIXED_BUCKETS, metric="ssre")
+    vs_buckets = run_timing_vs_buckets(BUCKET_SWEEP, domain_size=FIXED_DOMAIN, metric="ssre")
+    write_result(
+        "figure3_timing.txt", timing_table(vs_domain) + "\n\n" + timing_table(vs_buckets)
+    )
+
+    domain_times = [point.seconds for point in vs_domain.points]
+    bucket_times = [point.seconds for point in vs_buckets.points]
+
+    # Quadrupling n (128 -> 512) must cost clearly more than 2x (quadratic trend);
+    # use the widest span to dampen noise.
+    assert domain_times[-2] / domain_times[0] > 2.0
+    # Time grows with B and is not wildly super-linear: an 8x budget increase
+    # should stay within ~24x (linear trend with generous slack).
+    assert bucket_times[-1] > bucket_times[0]
+    assert bucket_times[-1] / bucket_times[0] < 24.0
+
+    # Give pytest-benchmark a kernel so the module also reports a timing row.
+    model = generate_movie_linkage(DOMAIN_SWEEP[0], seed=2009)
+    benchmark.pedantic(
+        construct_probabilistic, args=(model, "ssre", 1.0, 16), rounds=1, iterations=1
+    )

@@ -1,0 +1,61 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one of the paper's evaluation figures on a
+scaled-down workload (the paper used n = 10^4 - 3*10^4 with a C
+implementation; we use n in the hundreds-to-thousands with NumPy so the whole
+harness finishes in minutes).  Besides the pytest-benchmark timings, each
+module writes the same data series the paper plots to
+``benchmarks/results/*.txt`` so the shapes can be compared against the
+figures (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_movie_linkage, generate_tpch_lineitem
+
+#: Domain size used by the Figure 2 quality benchmarks (paper: 10^4).
+FIGURE2_DOMAIN = 512
+#: Bucket budgets swept by the Figure 2 benchmarks (paper: up to 1000).
+FIGURE2_BUDGETS = [1, 2, 4, 8, 16, 32, 64, 128]
+#: Domain size used by the Figure 4 wavelet benchmarks (paper: 2^15).
+FIGURE4_DOMAIN = 2048
+#: Coefficient budgets swept by the Figure 4 benchmarks (paper: up to 5000).
+FIGURE4_BUDGETS = [4, 16, 64, 256, 1024]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a paper-style series under benchmarks/results/ and return the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def movie_model():
+    """Scaled-down MystiQ-like movie-linkage data (basic model)."""
+    return generate_movie_linkage(FIGURE2_DOMAIN, seed=2009)
+
+
+@pytest.fixture(scope="session")
+def movie_model_large():
+    """Larger movie-linkage instance for the wavelet benchmarks."""
+    return generate_movie_linkage(FIGURE4_DOMAIN, seed=2009)
+
+
+@pytest.fixture(scope="session")
+def tpch_model():
+    """Scaled-down MayBMS/TPC-H-like tuple-pdf data."""
+    return generate_tpch_lineitem(FIGURE2_DOMAIN, FIGURE2_DOMAIN * 4, seed=2009)
+
+
+@pytest.fixture(scope="session")
+def tpch_model_large():
+    """Larger TPC-H-like instance for the wavelet benchmarks."""
+    return generate_tpch_lineitem(FIGURE4_DOMAIN, FIGURE4_DOMAIN * 4, seed=2009)

@@ -1,0 +1,54 @@
+"""Shared driver for the Figure 2 (histogram quality) benchmarks.
+
+Each ``bench_fig2_*`` module calls :func:`run_and_check` with the metric and
+sanity constant of its sub-figure.  The driver
+
+* runs the full quality experiment (probabilistic vs expectation vs sampled
+  worlds) over the bucket-budget sweep,
+* checks the qualitative shape the paper reports (the probabilistic
+  construction never loses, errors shrink as budgets grow),
+* writes the resulting series to ``benchmarks/results/`` for EXPERIMENTS.md,
+* and returns the result so the calling benchmark can also time the
+  probabilistic construction in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import histogram_quality_table, run_histogram_quality
+from repro.experiments.figure2 import HistogramQualityResult
+from repro.histograms.dp import solve_dynamic_program
+from repro.histograms.factory import make_cost_function
+
+from conftest import write_result
+
+
+def construct_probabilistic(model, metric, sanity, max_buckets):
+    """The timed kernel: one optimal-DP construction for the largest budget."""
+    cost_fn = make_cost_function(model, metric, sanity=sanity)
+    return solve_dynamic_program(cost_fn, max_buckets)
+
+
+def run_and_check(model, metric, sanity, budgets, result_name) -> HistogramQualityResult:
+    """Run one Figure 2 sub-experiment, assert its shape, persist the series."""
+    result = run_histogram_quality(
+        model, metric, budgets, sanity=sanity, sample_count=2, seed=2009
+    )
+
+    probabilistic = result.curve("probabilistic")
+    # Shape check 1: more buckets never hurt the optimal construction.
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(probabilistic.errors, probabilistic.errors[1:])
+    )
+    # Shape check 2 (the paper's headline claim): the probabilistic construction
+    # is at least as good as both naive baselines at every budget.
+    for method, curve in result.curves.items():
+        if method == "probabilistic":
+            continue
+        assert all(
+            optimal <= baseline + 1e-9
+            for optimal, baseline in zip(probabilistic.errors, curve.errors)
+        ), f"probabilistic construction lost to {method}"
+
+    write_result(result_name, histogram_quality_table(result))
+    return result

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Approximate query processing over an uncertain TPC-H-like relation.
+
+Query evaluation over probabilistic data is #P-hard in general; the paper's
+motivation for probabilistic synopses is to answer (approximate) queries from
+a compact summary instead of the full relation.  This example plays that
+workflow end to end on the tuple-pdf MayBMS/TPC-H stand-in:
+
+1. generate an uncertain ``lineitem``-``partkey`` relation,
+2. build a small optimal histogram and a wavelet synopsis,
+3. answer expected-COUNT range queries ("how many line items reference part
+   keys in [a, b]?") from the synopses,
+4. compare against the exact expected answers and against the same-size
+   synopsis built from a single sampled world,
+5. report the compression ratio.
+
+Run with:  python examples/approximate_query_answering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_histogram, build_wavelet
+from repro.datasets import generate_tpch_lineitem
+from repro.evaluation import estimates_of
+from repro.histograms import sampled_world_histogram
+
+PARTS = 512
+LINEITEMS = 2048
+BUCKETS = 24
+QUERIES = [(0, 63), (100, 227), (300, 301), (64, 447), (500, 511)]
+
+
+def answer(estimates: np.ndarray, low: int, high: int) -> float:
+    return float(estimates[low : high + 1].sum())
+
+
+def main() -> None:
+    print(f"Generating uncertain lineitem relation ({LINEITEMS} rows, {PARTS} part keys)...")
+    model = generate_tpch_lineitem(PARTS, LINEITEMS, seed=3)
+    exact = model.expected_frequencies()
+
+    histogram = build_histogram(model, BUCKETS, "sse")
+    wavelet = build_wavelet(model, BUCKETS, "sse")
+    sampled = sampled_world_histogram(model, BUCKETS, "sse", rng=np.random.default_rng(3))
+
+    synopsis_estimates = {
+        "optimal histogram": estimates_of(histogram, PARTS),
+        "wavelet synopsis": estimates_of(wavelet, PARTS),
+        "sampled-world hist": estimates_of(sampled, PARTS),
+    }
+
+    print(f"\nExpected-COUNT range queries, {BUCKETS}-term synopses "
+          f"({PARTS} values compressed to {BUCKETS} numbers, "
+          f"{PARTS / BUCKETS:.0f}x smaller):\n")
+    header = f"  {'range':<14}{'exact':>10}" + "".join(f"{name:>22}" for name in synopsis_estimates)
+    print(header)
+    for low, high in QUERIES:
+        truth = answer(exact, low, high)
+        row = f"  [{low:>3}, {high:>3}]   {truth:>10.1f}"
+        for estimates in synopsis_estimates.values():
+            estimate = answer(estimates, low, high)
+            error = 100.0 * abs(estimate - truth) / max(truth, 1e-9)
+            row += f"{estimate:>14.1f} ({error:>4.1f}%)"
+        print(row)
+
+    print("\nAverage absolute relative error over the query workload:")
+    for name, estimates in synopsis_estimates.items():
+        errors = []
+        for low, high in QUERIES:
+            truth = answer(exact, low, high)
+            errors.append(abs(answer(estimates, low, high) - truth) / max(truth, 1e-9))
+        print(f"  {name:<20}: {100.0 * np.mean(errors):6.2f}%")
+
+    print("\nThe synopses built from the full probability distributions answer range")
+    print("queries accurately at a fraction of the storage; the sampled-world synopsis")
+    print("pays for ignoring the uncertainty.")
+
+
+if __name__ == "__main__":
+    main()

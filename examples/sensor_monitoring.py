@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Sensor-monitoring scenario: value-pdf data, wavelets and max-error guarantees.
+
+A pipeline is instrumented with sensors at known positions; each sensor
+reports a small discrete distribution over candidate readings (noise, plus an
+occasional faulty sensor).  This is exactly the paper's value-pdf model: the
+*item* (sensor position) is certain, the associated *value* is not.
+
+The dashboard needs two different synopses:
+
+* a compact **wavelet** synopsis of the expected signal for plotting and
+  trend queries (SSE objective), and
+* a **histogram with a maximum-error guarantee** (MARE objective) so that any
+  single sensor's expected relative error is bounded — the per-item guarantee
+  cumulative metrics cannot give.
+
+Run with:  python examples/sensor_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_histogram, build_wavelet, expected_error, per_item_expected_errors
+from repro.datasets import generate_sensor_readings
+
+SENSORS = 128
+WAVELET_TERMS = 12
+HISTOGRAM_BUCKETS = 12
+
+
+def sparkline(values: np.ndarray, width: int = 64) -> str:
+    """Tiny ASCII rendering of a signal, for terminal output."""
+    blocks = " .:-=+*#%@"
+    resampled = np.interp(
+        np.linspace(0, values.size - 1, width), np.arange(values.size), values
+    )
+    low, high = float(resampled.min()), float(resampled.max())
+    span = (high - low) or 1.0
+    return "".join(blocks[int((v - low) / span * (len(blocks) - 1))] for v in resampled)
+
+
+def main() -> None:
+    print(f"Simulating {SENSORS} sensors with uncertain readings...\n")
+    model = generate_sensor_readings(SENSORS, noise=0.2, faulty_fraction=0.06, seed=11)
+    expected = model.expected_frequencies()
+
+    # --- Wavelet synopsis of the expected signal (SSE-optimal, Theorem 7) ----
+    wavelet = build_wavelet(model, WAVELET_TERMS, "sse")
+    reconstruction = wavelet.estimates()
+    print(f"expected signal : {sparkline(expected)}")
+    print(f"{WAVELET_TERMS}-term wavelet : {sparkline(reconstruction)}")
+    print(
+        f"expected SSE = {expected_error(model, wavelet, 'sse'):.1f} "
+        f"(irreducible variance floor = {model.frequency_variances().sum():.1f})\n"
+    )
+
+    # --- Max-relative-error histogram (per-sensor guarantee) -----------------
+    mare_histogram = build_histogram(model, HISTOGRAM_BUCKETS, "mare", sanity=1.0)
+    sse_histogram = build_histogram(model, HISTOGRAM_BUCKETS, "sse")
+
+    mare_of = lambda synopsis: per_item_expected_errors(model, synopsis, "mare", sanity=1.0)
+    print(f"{HISTOGRAM_BUCKETS}-bucket histograms, per-sensor expected relative error:")
+    print(
+        f"  MARE-optimal : worst sensor {mare_of(mare_histogram).max():.3f}, "
+        f"mean {mare_of(mare_histogram).mean():.3f}"
+    )
+    print(
+        f"  SSE-optimal  : worst sensor {mare_of(sse_histogram).max():.3f}, "
+        f"mean {mare_of(sse_histogram).mean():.3f}"
+    )
+    print("\nThe MARE-optimal bucketing trades a slightly higher average error for a")
+    print("much tighter worst-case guarantee on every individual sensor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Workload-aware synopses: the extension sketched in the paper's conclusions.
+
+The paper's objectives weight every item equally — a uniform workload of
+point queries.  Its concluding remarks note that real systems also know (or
+estimate) a *query* distribution, and ask how synopses should adapt.  This
+library implements that extension: a :class:`QueryWorkload` assigns each item
+a non-negative weight, and every histogram construction (plus the restricted
+wavelet DP and the evaluation engine) optimises the weighted objective.
+
+The scenario below summarises an uncertain product-catalogue relation whose
+query log concentrates on a "hot" region of the key space.  A workload-aware
+histogram spends its buckets where the queries are and pays a little accuracy
+on the cold region; a workload-oblivious histogram does the opposite.
+
+Run with:  python examples/workload_aware_synopses.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import QueryWorkload, build_histogram, expected_error, per_item_expected_errors
+from repro.datasets import zipf_value_pdf
+
+DOMAIN = 256
+BUCKETS = 16
+METRIC = "sse"
+
+
+def main() -> None:
+    print(f"Uncertain relation over {DOMAIN} keys, {BUCKETS}-bucket histograms, {METRIC.upper()}\n")
+    model = zipf_value_pdf(DOMAIN, skew=1.0, uncertainty=0.35, seed=17)
+
+    # A query log: most range queries touch keys 32..95, a few scan everything.
+    query_log = [(32, 95, 50.0), (48, 63, 30.0), (0, DOMAIN - 1, 2.0)]
+    workload = QueryWorkload.from_query_ranges(query_log, DOMAIN, smoothing=0.1).normalised()
+    hot = slice(32, 96)
+    cold = np.ones(DOMAIN, dtype=bool)
+    cold[hot] = False
+
+    oblivious = build_histogram(model, BUCKETS, METRIC)
+    aware = build_histogram(model, BUCKETS, METRIC, workload=workload)
+
+    def report(name, histogram):
+        weighted = expected_error(model, histogram, METRIC, workload=workload)
+        unweighted = expected_error(model, histogram, METRIC)
+        per_item = per_item_expected_errors(model, histogram, METRIC)
+        hot_buckets = sum(1 for b in histogram.buckets if 32 <= b.start <= 95 or 32 <= b.end <= 95)
+        print(f"  {name:<22} workload-weighted error {weighted:10.1f}   "
+              f"unweighted {unweighted:10.1f}")
+        print(f"  {'':<22} hot-region per-key error {per_item[hot].mean():8.2f}   "
+              f"cold-region {per_item[cold].mean():8.2f}   buckets touching hot region: {hot_buckets}")
+
+    print("Histogram built for the uniform workload (the paper's setting):")
+    report("workload-oblivious", oblivious)
+    print("\nHistogram built for the observed query workload:")
+    report("workload-aware", aware)
+
+    improvement = (
+        expected_error(model, oblivious, METRIC, workload=workload)
+        / max(expected_error(model, aware, METRIC, workload=workload), 1e-12)
+    )
+    print(f"\nOn the queries users actually run, the workload-aware histogram is "
+          f"{improvement:.2f}x more accurate for the same space budget.")
+
+
+if __name__ == "__main__":
+    main()

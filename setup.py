@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+legacy installation paths (``pip install -e . --no-use-pep517`` on machines
+without the ``wheel`` package, offline environments) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""Histogram and wavelet synopses for probabilistic data.
+
+A faithful, production-oriented Python implementation of
+"Histograms and Wavelets on Probabilistic Data"
+(Graham Cormode and Minos Garofalakis, ICDE 2009).
+
+The public API re-exported here covers the typical workflow:
+
+1. describe the uncertain data with one of the models
+   (:class:`BasicModel`, :class:`TuplePdfModel`, :class:`ValuePdfModel`);
+2. build a synopsis with :func:`build_histogram` or :func:`build_wavelet`
+   under an :class:`ErrorMetric`;
+3. evaluate it with :func:`expected_error`, or query it through
+   ``Histogram.estimates()`` / ``WaveletSynopsis.estimates()``.
+
+Lower-level building blocks (bucket-cost oracles, the dynamic programs, the
+Haar substrate, dataset generators and the experiment harness) live in the
+subpackages ``repro.histograms``, ``repro.wavelets``, ``repro.models``,
+``repro.datasets``, ``repro.evaluation`` and ``repro.experiments``.
+"""
+
+from ._version import __version__
+from .core import (
+    DEFAULT_SANITY,
+    Bucket,
+    ErrorMetric,
+    Histogram,
+    MetricSpec,
+    QueryWorkload,
+    WaveletSynopsis,
+    build_histogram,
+    build_wavelet,
+    point_error,
+)
+from .evaluation import expected_error, per_item_expected_errors
+from .exceptions import (
+    DomainError,
+    EvaluationError,
+    ModelValidationError,
+    ReproError,
+    SynopsisError,
+    WorldEnumerationError,
+)
+from .models import (
+    BasicModel,
+    FrequencyDistributions,
+    PossibleWorld,
+    ProbabilisticModel,
+    ProbabilisticTuple,
+    TuplePdfModel,
+    ValueGrid,
+    ValuePdfModel,
+)
+
+__all__ = [
+    "__version__",
+    # models
+    "ProbabilisticModel",
+    "BasicModel",
+    "TuplePdfModel",
+    "ProbabilisticTuple",
+    "ValuePdfModel",
+    "ValueGrid",
+    "FrequencyDistributions",
+    "PossibleWorld",
+    # metrics and synopses
+    "ErrorMetric",
+    "MetricSpec",
+    "DEFAULT_SANITY",
+    "point_error",
+    "Bucket",
+    "Histogram",
+    "WaveletSynopsis",
+    "QueryWorkload",
+    # builders and evaluation
+    "build_histogram",
+    "build_wavelet",
+    "expected_error",
+    "per_item_expected_errors",
+    # exceptions
+    "ReproError",
+    "ModelValidationError",
+    "DomainError",
+    "SynopsisError",
+    "EvaluationError",
+    "WorldEnumerationError",
+]

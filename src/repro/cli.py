@@ -1,0 +1,199 @@
+"""Command-line interface for building and evaluating probabilistic data synopses.
+
+Installed as ``repro-synopses``.  Sub-commands:
+
+``build-histogram``
+    Build a B-bucket histogram of a model stored in the JSON interchange
+    format (see :mod:`repro.io`) and write the synopsis to a JSON file.
+
+``build-wavelet``
+    Build a B-term wavelet synopsis of a model and write it to a JSON file.
+
+``evaluate``
+    Report the expected error of a stored synopsis against a stored model
+    under one or more metrics.
+
+``generate``
+    Produce one of the built-in synthetic datasets (movies / tpch / sensors)
+    and write it in the JSON interchange format.
+
+``experiment``
+    Run a scaled-down version of one of the paper's experiments (figure2,
+    figure3 or figure4) and print the resulting table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.builders import build_histogram, build_wavelet
+from .core.metrics import DEFAULT_SANITY, ErrorMetric
+from .datasets import generate_movie_linkage, generate_sensor_readings, generate_tpch_lineitem
+from .evaluation.errors import expected_error
+from .exceptions import ReproError
+from .experiments import (
+    histogram_quality_table,
+    run_histogram_quality,
+    run_timing_vs_buckets,
+    run_timing_vs_domain,
+    run_wavelet_quality,
+    timing_table,
+    wavelet_quality_table,
+)
+from .io import read_model, read_synopsis, write_model, write_synopsis
+
+__all__ = ["main", "build_parser"]
+
+_METRIC_CHOICES = [metric.value for metric in ErrorMetric]
+_DATASET_CHOICES = ["movies", "tpch", "sensors"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-synopses",
+        description="Histogram and wavelet synopses on probabilistic data "
+        "(Cormode & Garofalakis, ICDE 2009).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # build-histogram ---------------------------------------------------
+    hist = subparsers.add_parser("build-histogram", help="build a bucket histogram synopsis")
+    hist.add_argument("--input", required=True, help="model JSON file")
+    hist.add_argument("--output", required=True, help="synopsis JSON file to write")
+    hist.add_argument("--buckets", type=int, required=True, help="bucket budget B")
+    hist.add_argument("--metric", choices=_METRIC_CHOICES, default="sse")
+    hist.add_argument("--sanity", type=float, default=DEFAULT_SANITY, help="sanity constant c")
+    hist.add_argument(
+        "--method", choices=["optimal", "approximate"], default="optimal",
+        help="exact DP or the (1+eps) approximation",
+    )
+    hist.add_argument("--epsilon", type=float, default=0.1, help="slack for --method approximate")
+    hist.add_argument(
+        "--sse-variant", choices=["fixed", "paper"], default="fixed",
+        help="SSE bucket-cost formulation (see DESIGN.md)",
+    )
+
+    # build-wavelet ------------------------------------------------------
+    wave = subparsers.add_parser("build-wavelet", help="build a Haar wavelet synopsis")
+    wave.add_argument("--input", required=True, help="model JSON file")
+    wave.add_argument("--output", required=True, help="synopsis JSON file to write")
+    wave.add_argument("--coefficients", type=int, required=True, help="coefficient budget B")
+    wave.add_argument("--metric", choices=_METRIC_CHOICES, default="sse")
+    wave.add_argument("--sanity", type=float, default=DEFAULT_SANITY, help="sanity constant c")
+
+    # evaluate ------------------------------------------------------------
+    evaluate = subparsers.add_parser("evaluate", help="expected error of a stored synopsis")
+    evaluate.add_argument("--input", required=True, help="model JSON file")
+    evaluate.add_argument("--synopsis", required=True, help="synopsis JSON file")
+    evaluate.add_argument(
+        "--metric", choices=_METRIC_CHOICES, action="append",
+        help="metric to report (repeatable; default: sse)",
+    )
+    evaluate.add_argument("--sanity", type=float, default=DEFAULT_SANITY, help="sanity constant c")
+
+    # generate ------------------------------------------------------------
+    generate = subparsers.add_parser("generate", help="generate a built-in synthetic dataset")
+    generate.add_argument("--dataset", choices=_DATASET_CHOICES, required=True)
+    generate.add_argument("--output", required=True, help="model JSON file to write")
+    generate.add_argument("--domain-size", type=int, default=512)
+    generate.add_argument("--seed", type=int, default=None)
+
+    # experiment ----------------------------------------------------------
+    experiment = subparsers.add_parser("experiment", help="run a scaled-down paper experiment")
+    experiment.add_argument("figure", choices=["figure2", "figure3", "figure4"])
+    experiment.add_argument("--dataset", choices=_DATASET_CHOICES, default="movies")
+    experiment.add_argument("--domain-size", type=int, default=256)
+    experiment.add_argument("--metric", choices=_METRIC_CHOICES, default="ssre")
+    experiment.add_argument("--sanity", type=float, default=DEFAULT_SANITY)
+    experiment.add_argument("--budgets", type=int, nargs="+", default=[5, 10, 20, 40, 80])
+    experiment.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _make_dataset(name: str, domain_size: int, seed: Optional[int]):
+    if name == "movies":
+        return generate_movie_linkage(domain_size, seed=seed)
+    if name == "tpch":
+        return generate_tpch_lineitem(domain_size, domain_size * 4, seed=seed)
+    if name == "sensors":
+        return generate_sensor_readings(domain_size, seed=seed)
+    raise ReproError(f"unknown dataset {name!r}")  # pragma: no cover - argparse guards this
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    model = _make_dataset(args.dataset, args.domain_size, args.seed)
+    if args.figure == "figure2":
+        result = run_histogram_quality(
+            model, args.metric, args.budgets, sanity=args.sanity, seed=args.seed
+        )
+        return histogram_quality_table(result)
+    if args.figure == "figure3":
+        sizes = [args.domain_size // 4, args.domain_size // 2, args.domain_size]
+        vs_domain = run_timing_vs_domain(sizes, buckets=min(args.budgets), metric=args.metric)
+        vs_buckets = run_timing_vs_buckets(
+            args.budgets, domain_size=args.domain_size, metric=args.metric
+        )
+        return timing_table(vs_domain) + "\n\n" + timing_table(vs_buckets)
+    result = run_wavelet_quality(model, args.budgets, seed=args.seed)
+    return wavelet_quality_table(result)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "build-histogram":
+            model = read_model(args.input)
+            histogram = build_histogram(
+                model,
+                buckets=args.buckets,
+                metric=args.metric,
+                sanity=args.sanity,
+                method=args.method,
+                epsilon=args.epsilon,
+                sse_variant=args.sse_variant,
+            )
+            write_synopsis(histogram, args.output)
+            error = expected_error(model, histogram, args.metric, sanity=args.sanity)
+            print(
+                f"wrote {args.output}: {histogram.bucket_count} buckets, "
+                f"expected {args.metric.upper()} = {error:.6g}"
+            )
+        elif args.command == "build-wavelet":
+            model = read_model(args.input)
+            synopsis = build_wavelet(
+                model, coefficients=args.coefficients, metric=args.metric, sanity=args.sanity
+            )
+            write_synopsis(synopsis, args.output)
+            error = expected_error(model, synopsis, args.metric, sanity=args.sanity)
+            print(
+                f"wrote {args.output}: {synopsis.term_count} coefficients, "
+                f"expected {args.metric.upper()} = {error:.6g}"
+            )
+        elif args.command == "evaluate":
+            model = read_model(args.input)
+            synopsis = read_synopsis(args.synopsis)
+            metrics = args.metric or ["sse"]
+            for metric in metrics:
+                error = expected_error(model, synopsis, metric, sanity=args.sanity)
+                print(f"{metric.upper()}: {error:.6g}")
+        elif args.command == "generate":
+            model = _make_dataset(args.dataset, args.domain_size, args.seed)
+            write_model(model, args.output)
+            print(f"wrote {args.output}: {model!r}")
+        elif args.command == "experiment":
+            print(_run_experiment(args))
+        else:  # pragma: no cover - argparse guards this
+            parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Core abstractions: error metrics, synopsis value objects and top-level builders."""
+
+from .builders import build_histogram, build_wavelet
+from .histogram import Bucket, Histogram
+from .metrics import (
+    DEFAULT_SANITY,
+    ErrorMetric,
+    MetricSpec,
+    is_cumulative,
+    is_maximum,
+    is_relative,
+    is_squared,
+    point_error,
+)
+from .wavelet import WaveletSynopsis
+from .workload import QueryWorkload
+
+__all__ = [
+    "QueryWorkload",
+    "ErrorMetric",
+    "MetricSpec",
+    "DEFAULT_SANITY",
+    "point_error",
+    "is_cumulative",
+    "is_maximum",
+    "is_squared",
+    "is_relative",
+    "Bucket",
+    "Histogram",
+    "WaveletSynopsis",
+    "build_histogram",
+    "build_wavelet",
+]

@@ -1,0 +1,130 @@
+"""Top-level synopsis builders: the package's main entry points.
+
+``build_histogram`` and ``build_wavelet`` tie together the data models, the
+per-metric cost oracles / thresholding schemes and the synopsis value
+objects.  They accept any probabilistic model (or precomputed per-item
+marginals, or a plain deterministic frequency vector) and return a
+:class:`~repro.core.histogram.Histogram` or
+:class:`~repro.core.wavelet.WaveletSynopsis` ready for estimation and
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+from ..models.base import ProbabilisticModel
+from ..models.frequency import FrequencyDistributions
+from .histogram import Histogram
+from .metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from .wavelet import WaveletSynopsis
+
+__all__ = ["build_histogram", "build_wavelet"]
+
+DataLike = Union[ProbabilisticModel, FrequencyDistributions, np.ndarray, Sequence[float]]
+
+
+def _as_data(data: DataLike) -> Union[ProbabilisticModel, FrequencyDistributions]:
+    """Normalise the accepted input types to a model or dense marginals."""
+    if isinstance(data, (ProbabilisticModel, FrequencyDistributions)):
+        return data
+    array = np.asarray(data, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise SynopsisError(
+            "plain data must be a non-empty 1-D frequency vector; "
+            "use one of the probabilistic model classes for uncertain input"
+        )
+    return FrequencyDistributions.deterministic(array)
+
+
+def build_histogram(
+    data: DataLike,
+    buckets: int,
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    *,
+    sanity: float = DEFAULT_SANITY,
+    method: str = "optimal",
+    epsilon: float = 0.1,
+    sse_variant: str = "fixed",
+    workload=None,
+) -> Histogram:
+    """Build a ``buckets``-bucket histogram synopsis of probabilistic data.
+
+    Parameters
+    ----------
+    data:
+        A probabilistic model (basic / tuple-pdf / value-pdf), precomputed
+        :class:`FrequencyDistributions`, or a plain deterministic frequency
+        vector.
+    buckets:
+        The space budget ``B`` (number of buckets).
+    metric:
+        Error objective; one of the :class:`ErrorMetric` members or their
+        lower-case names.  Cumulative metrics minimise the expected total
+        error; maximum metrics minimise the largest per-item expected error.
+    sanity:
+        Sanity constant ``c`` for the relative metrics.
+    method:
+        ``"optimal"`` runs the exact dynamic program (``O(B n^2)`` bucket
+        evaluations); ``"approximate"`` runs the ``(1 + epsilon)``
+        approximation of Section 3.5 (cumulative metrics only).
+    epsilon:
+        Approximation slack for ``method="approximate"``.
+    sse_variant:
+        ``"fixed"`` (default, the Section 2.3 objective) or ``"paper"``
+        (Eq. 5); only meaningful for the SSE metric.
+    workload:
+        Optional per-item query weights (:class:`repro.core.workload.QueryWorkload`
+        or a plain weight sequence).  When given, the construction minimises
+        the workload-weighted objective — the extension sketched in the
+        paper's concluding remarks.
+    """
+    from ..histograms.approx import approximate_histogram
+    from ..histograms.dp import optimal_histogram
+    from ..histograms.factory import make_cost_function
+
+    if buckets < 1:
+        raise SynopsisError("the bucket budget must be at least 1")
+    spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
+    cost_fn = make_cost_function(
+        _as_data(data), spec, sse_variant=sse_variant, workload=workload
+    )
+    if method == "optimal":
+        return optimal_histogram(cost_fn, buckets)
+    if method == "approximate":
+        return approximate_histogram(cost_fn, buckets, epsilon)
+    raise SynopsisError(f"unknown construction method {method!r}; expected 'optimal' or 'approximate'")
+
+
+def build_wavelet(
+    data: DataLike,
+    coefficients: int,
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    *,
+    sanity: float = DEFAULT_SANITY,
+    workload=None,
+) -> WaveletSynopsis:
+    """Build a ``coefficients``-term Haar wavelet synopsis of probabilistic data.
+
+    For the SSE metric this is the ``O(n)`` optimal thresholding of the
+    expected coefficients (Theorem 7).  For the other metrics the restricted
+    coefficient-tree dynamic program is used (Theorem 8): retained
+    coefficients keep their expected values and the DP selects the best set.
+
+    With a ``workload`` (per-item query weights) the greedy SSE argument no
+    longer applies, so every metric — including SSE — is routed through the
+    restricted dynamic program with workload-weighted leaf errors.
+    """
+    from ..wavelets.nonsse import restricted_wavelet_synopsis
+    from ..wavelets.sse import sse_optimal_wavelet
+
+    if coefficients < 0:
+        raise SynopsisError("the coefficient budget must be non-negative")
+    spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
+    normalised = _as_data(data)
+    if spec.metric is ErrorMetric.SSE and workload is None:
+        return sse_optimal_wavelet(normalised, coefficients)
+    return restricted_wavelet_synopsis(normalised, coefficients, spec, workload=workload)

@@ -1,0 +1,207 @@
+"""Histogram synopses: buckets, representatives and frequency estimates.
+
+A ``B``-bucket histogram partitions the ordered domain ``[0, n)`` into ``B``
+contiguous buckets; every item falling in bucket ``k`` is approximated by the
+bucket's single representative value ``b̂_k`` (Section 2.2 of the paper).
+The classes here are pure value objects — construction algorithms live in
+:mod:`repro.histograms`, evaluation in :mod:`repro.evaluation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+
+__all__ = ["Bucket", "Histogram"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket: an inclusive item span and its representative value."""
+
+    start: int
+    end: int
+    representative: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise SynopsisError(f"invalid bucket span [{self.start}, {self.end}]")
+
+    @property
+    def width(self) -> int:
+        """Number of distinct items the bucket spans (``n_k`` in the paper)."""
+        return self.end - self.start + 1
+
+    def covers(self, item: int) -> bool:
+        """Whether ``item`` falls inside this bucket."""
+        return self.start <= item <= self.end
+
+    def __repr__(self) -> str:
+        return f"Bucket([{self.start}, {self.end}], rep={self.representative:.6g})"
+
+
+class Histogram:
+    """A bucket histogram over the ordered domain ``[0, n)``.
+
+    Parameters
+    ----------
+    buckets:
+        Buckets in increasing item order.  They must tile the domain exactly:
+        the first starts at 0, each starts right after its predecessor ends,
+        and the last ends at ``domain_size - 1``.
+    domain_size:
+        The size ``n`` of the ordered domain.
+    """
+
+    __slots__ = ("_buckets", "_domain_size")
+
+    def __init__(self, buckets: Iterable[Bucket], domain_size: int):
+        bucket_list = list(buckets)
+        if not bucket_list:
+            raise SynopsisError("a histogram needs at least one bucket")
+        if domain_size <= 0:
+            raise SynopsisError("domain_size must be positive")
+        expected_start = 0
+        for bucket in bucket_list:
+            if bucket.start != expected_start:
+                raise SynopsisError(
+                    f"buckets do not partition the domain: expected a bucket starting at "
+                    f"{expected_start}, found {bucket.start}"
+                )
+            expected_start = bucket.end + 1
+        if expected_start != domain_size:
+            raise SynopsisError(
+                f"buckets cover [0, {expected_start}) but the domain is [0, {domain_size})"
+            )
+        self._buckets = tuple(bucket_list)
+        self._domain_size = int(domain_size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def buckets(self) -> Tuple[Bucket, ...]:
+        """The buckets, in domain order."""
+        return self._buckets
+
+    @property
+    def domain_size(self) -> int:
+        """The size ``n`` of the ordered domain."""
+        return self._domain_size
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of buckets ``B`` (the space budget)."""
+        return len(self._buckets)
+
+    @property
+    def boundaries(self) -> List[Tuple[int, int]]:
+        """The ``(start, end)`` spans of all buckets."""
+        return [(b.start, b.end) for b in self._buckets]
+
+    @property
+    def representatives(self) -> np.ndarray:
+        """The bucket representative values, in bucket order."""
+        return np.array([b.representative for b in self._buckets], dtype=float)
+
+    def __len__(self) -> int:
+        return self.bucket_count
+
+    def __iter__(self):
+        return iter(self._buckets)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self._domain_size == other._domain_size
+            and self.boundaries == other.boundaries
+            and np.allclose(self.representatives, other.representatives)
+        )
+
+    def __repr__(self) -> str:
+        return f"Histogram(buckets={self.bucket_count}, n={self.domain_size})"
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def bucket_of(self, item: int) -> Bucket:
+        """The bucket containing ``item``."""
+        if not 0 <= item < self._domain_size:
+            raise SynopsisError(f"item {item} outside the domain [0, {self._domain_size})")
+        starts = [b.start for b in self._buckets]
+        idx = int(np.searchsorted(starts, item, side="right")) - 1
+        return self._buckets[idx]
+
+    def estimate(self, item: int) -> float:
+        """Approximate frequency ``ĝ_i`` of a single item."""
+        return float(self.bucket_of(item).representative)
+
+    def estimates(self) -> np.ndarray:
+        """The full vector of approximate frequencies ``ĝ``, length ``n``."""
+        out = np.empty(self._domain_size, dtype=float)
+        for bucket in self._buckets:
+            out[bucket.start : bucket.end + 1] = bucket.representative
+        return out
+
+    def range_sum_estimate(self, start: int, end: int) -> float:
+        """Estimated sum of frequencies over the inclusive item range ``[start, end]``.
+
+        This is the classic approximate-query-processing use of a histogram:
+        each bucket contributes its representative times the overlap width.
+        """
+        if end < start:
+            return 0.0
+        if start < 0 or end >= self._domain_size:
+            raise SynopsisError(
+                f"range [{start}, {end}] outside the domain [0, {self._domain_size})"
+            )
+        total = 0.0
+        for bucket in self._buckets:
+            lo = max(start, bucket.start)
+            hi = min(end, bucket.end)
+            if lo <= hi:
+                total += bucket.representative * (hi - lo + 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Construction helpers / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_boundaries(
+        cls,
+        boundaries: Sequence[Tuple[int, int]],
+        representatives: Sequence[float],
+        domain_size: int,
+    ) -> "Histogram":
+        """Build from parallel boundary / representative sequences."""
+        if len(boundaries) != len(representatives):
+            raise SynopsisError("boundaries and representatives must have equal length")
+        buckets = [
+            Bucket(start=start, end=end, representative=float(rep))
+            for (start, end), rep in zip(boundaries, representatives)
+        ]
+        return cls(buckets, domain_size)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation of the histogram."""
+        return {
+            "domain_size": self._domain_size,
+            "buckets": [
+                {"start": b.start, "end": b.end, "representative": b.representative}
+                for b in self._buckets
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        buckets = [
+            Bucket(int(b["start"]), int(b["end"]), float(b["representative"]))
+            for b in payload["buckets"]
+        ]
+        return cls(buckets, int(payload["domain_size"]))

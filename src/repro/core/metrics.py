@@ -1,0 +1,199 @@
+"""Error metrics for synopses on probabilistic data (Sections 2.2-2.3).
+
+The paper considers cumulative metrics — sum-squared error (SSE),
+sum-squared-relative error (SSRE), sum-absolute error (SAE) and
+sum-absolute-relative error (SARE) — and maximum metrics — maximum-absolute
+error (MAE) and maximum-absolute-relative error (MARE).  On probabilistic
+data the target is the *expected* cumulative error over possible worlds, or
+the maximum over items of the per-item expected error (Section 2.3).
+
+This module defines the :class:`ErrorMetric` enumeration, the point-error
+functions ``err(g, ĝ)`` they are built from, and small helpers describing
+each metric (cumulative vs maximum, squared vs absolute, relative or not).
+The relative metrics use the *sanity constant* ``c`` to avoid division by
+tiny frequencies, exactly as in the paper: the denominator is
+``max(c, |g|)`` for absolute-relative metrics and ``max(c^2, g^2)`` for the
+squared-relative metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+
+__all__ = [
+    "ErrorMetric",
+    "MetricSpec",
+    "DEFAULT_SANITY",
+    "point_error",
+    "is_cumulative",
+    "is_maximum",
+    "is_squared",
+    "is_relative",
+]
+
+#: Default sanity constant ``c`` for the relative-error metrics.  The paper's
+#: experiments use c = 0.5 and c = 1.0; 1.0 is the neutral default.
+DEFAULT_SANITY = 1.0
+
+
+class ErrorMetric(enum.Enum):
+    """The error objectives supported for histogram and wavelet synopses."""
+
+    #: Sum-squared error: ``E_W[sum_i (g_i - ĝ_i)^2]``.
+    SSE = "sse"
+    #: Sum-squared-relative error: ``E_W[sum_i (g_i - ĝ_i)^2 / max(c, |g_i|)^2]``.
+    SSRE = "ssre"
+    #: Sum-absolute error: ``E_W[sum_i |g_i - ĝ_i|]``.
+    SAE = "sae"
+    #: Sum-absolute-relative error: ``E_W[sum_i |g_i - ĝ_i| / max(c, |g_i|)]``.
+    SARE = "sare"
+    #: Maximum-absolute error: ``max_i E_W[|g_i - ĝ_i|]``.
+    MAE = "mae"
+    #: Maximum-absolute-relative error: ``max_i E_W[|g_i - ĝ_i| / max(c, |g_i|)]``.
+    MARE = "mare"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, value: Union[str, "ErrorMetric"]) -> "ErrorMetric":
+        """Accept either an :class:`ErrorMetric` or its (case-insensitive) name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).strip().lower())
+        except ValueError as exc:
+            valid = ", ".join(m.value for m in cls)
+            raise EvaluationError(f"unknown error metric {value!r}; expected one of: {valid}") from exc
+
+    @property
+    def cumulative(self) -> bool:
+        """Whether the metric sums per-item errors (vs. taking the maximum)."""
+        return self in _CUMULATIVE
+
+    @property
+    def maximum(self) -> bool:
+        """Whether the metric takes the maximum per-item expected error."""
+        return not self.cumulative
+
+    @property
+    def squared(self) -> bool:
+        """Whether the point error is squared (vs. absolute)."""
+        return self in _SQUARED
+
+    @property
+    def relative(self) -> bool:
+        """Whether the point error is normalised by ``max(c, |g|)``."""
+        return self in _RELATIVE
+
+
+_CUMULATIVE = {ErrorMetric.SSE, ErrorMetric.SSRE, ErrorMetric.SAE, ErrorMetric.SARE}
+_SQUARED = {ErrorMetric.SSE, ErrorMetric.SSRE}
+_RELATIVE = {ErrorMetric.SSRE, ErrorMetric.SARE, ErrorMetric.MARE}
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """An error metric together with its sanity constant.
+
+    Bundling the two avoids threading an extra ``sanity`` argument through
+    every function, and makes it explicit that the relative metrics are a
+    family parameterised by ``c``.
+    """
+
+    metric: ErrorMetric
+    sanity: float = DEFAULT_SANITY
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "metric", ErrorMetric.parse(self.metric))
+        if self.metric.relative and self.sanity <= 0:
+            raise EvaluationError("the sanity constant c must be positive for relative metrics")
+
+    @classmethod
+    def of(cls, metric: Union[str, ErrorMetric, "MetricSpec"], sanity: float = DEFAULT_SANITY) -> "MetricSpec":
+        if isinstance(metric, MetricSpec):
+            return metric
+        return cls(ErrorMetric.parse(metric), sanity)
+
+    # Convenience pass-throughs --------------------------------------------------
+    @property
+    def cumulative(self) -> bool:
+        return self.metric.cumulative
+
+    @property
+    def maximum(self) -> bool:
+        return self.metric.maximum
+
+    @property
+    def squared(self) -> bool:
+        return self.metric.squared
+
+    @property
+    def relative(self) -> bool:
+        return self.metric.relative
+
+    def point_error(self, actual, estimate):
+        """Vectorised ``err(g, ĝ)`` for this metric."""
+        return point_error(actual, estimate, self.metric, self.sanity)
+
+    def describe(self) -> str:
+        name = self.metric.value.upper()
+        if self.relative:
+            return f"{name}(c={self.sanity:g})"
+        return name
+
+
+def point_error(
+    actual: Union[float, np.ndarray],
+    estimate: Union[float, np.ndarray],
+    metric: Union[str, ErrorMetric],
+    sanity: float = DEFAULT_SANITY,
+) -> Union[float, np.ndarray]:
+    """Per-item error ``err(g, ĝ)`` for a single (possibly vectorised) pair.
+
+    This is the deterministic point error the expected objectives are built
+    from; broadcasting follows NumPy rules so either argument may be an array.
+    """
+    metric = ErrorMetric.parse(metric)
+    actual_arr = np.asarray(actual, dtype=float)
+    estimate_arr = np.asarray(estimate, dtype=float)
+    diff = actual_arr - estimate_arr
+    if metric.squared:
+        err = diff ** 2
+    else:
+        err = np.abs(diff)
+    if metric.relative:
+        if sanity <= 0:
+            raise EvaluationError("the sanity constant c must be positive for relative metrics")
+        denom = np.maximum(float(sanity), np.abs(actual_arr))
+        if metric.squared:
+            err = err / denom ** 2
+        else:
+            err = err / denom
+    if np.isscalar(actual) and np.isscalar(estimate):
+        return float(err)
+    return err
+
+
+def is_cumulative(metric: Union[str, ErrorMetric]) -> bool:
+    """Whether ``metric`` aggregates by summation over items."""
+    return ErrorMetric.parse(metric).cumulative
+
+
+def is_maximum(metric: Union[str, ErrorMetric]) -> bool:
+    """Whether ``metric`` aggregates by the maximum over items."""
+    return ErrorMetric.parse(metric).maximum
+
+
+def is_squared(metric: Union[str, ErrorMetric]) -> bool:
+    """Whether ``metric`` uses squared point errors."""
+    return ErrorMetric.parse(metric).squared
+
+
+def is_relative(metric: Union[str, ErrorMetric]) -> bool:
+    """Whether ``metric`` normalises by ``max(c, |g|)``."""
+    return ErrorMetric.parse(metric).relative

@@ -1,0 +1,146 @@
+"""Wavelet synopses: sparse sets of retained Haar coefficients.
+
+A ``B``-term wavelet synopsis keeps ``B`` of the ``N`` Haar DWT coefficients
+of the (expected) frequency vector and implicitly sets the rest to zero
+(Section 2.2 / Section 4 of the paper).  The synopsis stores coefficients in
+the *normalised* (orthonormal) Haar basis, which is the basis in which the
+SSE of the data approximation equals the SSE of the coefficient
+approximation (Parseval).
+
+Like :class:`~repro.core.histogram.Histogram`, this class is a value object:
+thresholding algorithms live in :mod:`repro.wavelets`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+
+__all__ = ["WaveletSynopsis"]
+
+
+class WaveletSynopsis:
+    """A sparse Haar-coefficient synopsis over the ordered domain ``[0, n)``.
+
+    Parameters
+    ----------
+    coefficients:
+        Mapping from coefficient index (position in the length-``N`` Haar
+        transform, ``N`` being ``n`` rounded up to a power of two) to the
+        retained *normalised* coefficient value.
+    domain_size:
+        The size ``n`` of the original ordered domain.
+    """
+
+    __slots__ = ("_coefficients", "_domain_size", "_length")
+
+    def __init__(self, coefficients: Mapping[int, float], domain_size: int):
+        if domain_size <= 0:
+            raise SynopsisError("domain_size must be positive")
+        length = 1
+        while length < domain_size:
+            length *= 2
+        coeffs: Dict[int, float] = {}
+        for index, value in coefficients.items():
+            index = int(index)
+            if not 0 <= index < length:
+                raise SynopsisError(
+                    f"coefficient index {index} outside the transform range [0, {length})"
+                )
+            coeffs[index] = float(value)
+        self._coefficients = dict(sorted(coeffs.items()))
+        self._domain_size = int(domain_size)
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> Dict[int, float]:
+        """The retained ``{index: normalised value}`` coefficients."""
+        return dict(self._coefficients)
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """The retained coefficient indices, sorted increasingly."""
+        return tuple(self._coefficients)
+
+    @property
+    def domain_size(self) -> int:
+        """The size ``n`` of the original ordered domain."""
+        return self._domain_size
+
+    @property
+    def transform_length(self) -> int:
+        """The padded transform length ``N`` (``n`` rounded up to a power of two)."""
+        return self._length
+
+    @property
+    def term_count(self) -> int:
+        """Number of retained coefficients ``B`` (the space budget)."""
+        return len(self._coefficients)
+
+    def __len__(self) -> int:
+        return self.term_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WaveletSynopsis):
+            return NotImplemented
+        if self._domain_size != other._domain_size:
+            return False
+        if set(self._coefficients) != set(other._coefficients):
+            return False
+        return all(
+            abs(self._coefficients[k] - other._coefficients[k]) <= 1e-12
+            for k in self._coefficients
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WaveletSynopsis(terms={self.term_count}, n={self.domain_size}, "
+            f"N={self.transform_length})"
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def coefficient_vector(self) -> np.ndarray:
+        """Dense length-``N`` vector of normalised coefficients (zeros elsewhere)."""
+        dense = np.zeros(self._length, dtype=float)
+        for index, value in self._coefficients.items():
+            dense[index] = value
+        return dense
+
+    def estimates(self) -> np.ndarray:
+        """Reconstructed frequency estimates ``ĝ`` over the original domain."""
+        # Imported lazily to keep the core value objects free of an import
+        # cycle with the construction algorithms.
+        from ..wavelets.haar import inverse_haar_transform
+
+        reconstructed = inverse_haar_transform(self.coefficient_vector(), normalised=True)
+        return reconstructed[: self._domain_size]
+
+    def estimate(self, item: int) -> float:
+        """Approximate frequency ``ĝ_i`` of a single item."""
+        if not 0 <= item < self._domain_size:
+            raise SynopsisError(f"item {item} outside the domain [0, {self._domain_size})")
+        return float(self.estimates()[item])
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation of the synopsis."""
+        return {
+            "domain_size": self._domain_size,
+            "coefficients": {str(k): v for k, v in self._coefficients.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "WaveletSynopsis":
+        """Inverse of :meth:`to_dict`."""
+        coefficients = {int(k): float(v) for k, v in payload["coefficients"].items()}
+        return cls(coefficients, int(payload["domain_size"]))

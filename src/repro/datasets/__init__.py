@@ -1,0 +1,33 @@
+"""Dataset generators backing the experiments, examples and tests.
+
+The paper evaluates on the MystiQ movie-linkage data (basic model) and on
+MayBMS/TPC-H generated data (tuple-pdf model); neither is available offline,
+so :mod:`repro.datasets.movies` and :mod:`repro.datasets.tpch` provide
+faithful synthetic equivalents (documented in DESIGN.md).  The remaining
+modules provide generic synthetic workloads and a sensor-reading scenario for
+the value-pdf model.
+"""
+
+from .movies import generate_movie_linkage
+from .sensors import generate_sensor_readings
+from .synthetic import (
+    clustered_value_pdf,
+    random_basic_model,
+    random_tuple_pdf_model,
+    uniform_value_pdf,
+    zipf_frequencies,
+    zipf_value_pdf,
+)
+from .tpch import generate_tpch_lineitem
+
+__all__ = [
+    "generate_movie_linkage",
+    "generate_tpch_lineitem",
+    "generate_sensor_readings",
+    "zipf_frequencies",
+    "uniform_value_pdf",
+    "zipf_value_pdf",
+    "clustered_value_pdf",
+    "random_basic_model",
+    "random_tuple_pdf_model",
+]

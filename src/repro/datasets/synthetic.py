@@ -1,0 +1,170 @@
+"""Generic synthetic probabilistic-data generators.
+
+These generators produce inputs in each of the three uncertainty models with
+controllable skew, uncertainty level and domain size.  They back the unit
+tests, the examples and the benchmark harness; the dataset modules that stand
+in for the paper's specific workloads (MystiQ movie linkage, MayBMS/TPC-H)
+build on the same primitives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelValidationError
+from ..models.basic import BasicModel
+from ..models.tuple_pdf import TuplePdfModel
+from ..models.value_pdf import ValuePdfModel
+
+__all__ = [
+    "zipf_frequencies",
+    "uniform_value_pdf",
+    "zipf_value_pdf",
+    "clustered_value_pdf",
+    "random_basic_model",
+    "random_tuple_pdf_model",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def zipf_frequencies(domain_size: int, *, skew: float = 1.0, total: float = 10_000.0) -> np.ndarray:
+    """A Zipf-shaped deterministic frequency vector (largest frequency first).
+
+    ``skew`` is the Zipf exponent; ``total`` the sum of all frequencies.
+    """
+    if domain_size <= 0:
+        raise ModelValidationError("domain_size must be positive")
+    ranks = np.arange(1, domain_size + 1, dtype=float)
+    weights = ranks ** (-skew)
+    return total * weights / weights.sum()
+
+
+def uniform_value_pdf(
+    domain_size: int,
+    *,
+    max_frequency: int = 10,
+    outcomes_per_item: int = 3,
+    seed: Optional[int] = None,
+) -> ValuePdfModel:
+    """Value-pdf model with uniformly random outcome values and probabilities."""
+    rng = _rng(seed)
+    per_item: List[List[Tuple[float, float]]] = []
+    for _ in range(domain_size):
+        count = int(rng.integers(1, outcomes_per_item + 1))
+        values = rng.integers(0, max_frequency + 1, size=count)
+        raw = rng.random(count)
+        probs = raw / raw.sum() * rng.uniform(0.5, 1.0)
+        per_item.append([(float(v), float(p)) for v, p in zip(values, probs)])
+    return ValuePdfModel(per_item)
+
+
+def zipf_value_pdf(
+    domain_size: int,
+    *,
+    skew: float = 1.0,
+    uncertainty: float = 0.3,
+    max_frequency: float = 100.0,
+    seed: Optional[int] = None,
+) -> ValuePdfModel:
+    """Value-pdf model whose expected frequencies follow a Zipf profile.
+
+    Each item's pdf places mass around its nominal Zipf frequency, spread over
+    a few nearby values; ``uncertainty`` controls the relative spread.
+    """
+    rng = _rng(seed)
+    nominal = zipf_frequencies(domain_size, skew=skew, total=max_frequency * domain_size / 10.0)
+    # Shuffle so the skew is not monotone along the domain (more interesting buckets).
+    rng.shuffle(nominal)
+    per_item: List[List[Tuple[float, float]]] = []
+    for value in nominal:
+        spread = max(value * uncertainty, 0.5)
+        outcomes = np.maximum(value + spread * np.array([-1.0, 0.0, 1.0]), 0.0)
+        raw = rng.dirichlet(np.ones(3)) * rng.uniform(0.7, 1.0)
+        per_item.append([(float(round(v, 3)), float(p)) for v, p in zip(outcomes, raw)])
+    return ValuePdfModel(per_item)
+
+
+def clustered_value_pdf(
+    domain_size: int,
+    *,
+    clusters: int = 4,
+    max_frequency: float = 50.0,
+    uncertainty: float = 0.2,
+    seed: Optional[int] = None,
+) -> ValuePdfModel:
+    """Value-pdf model with piecewise-constant expected frequencies.
+
+    The domain is split into ``clusters`` contiguous segments with a shared
+    nominal level; this is the friendliest possible structure for histograms
+    and is useful for sanity-checking that optimal bucketings align with the
+    cluster boundaries.
+    """
+    rng = _rng(seed)
+    if clusters < 1:
+        raise ModelValidationError("clusters must be at least 1")
+    levels = rng.uniform(0.1 * max_frequency, max_frequency, size=clusters)
+    edges = np.linspace(0, domain_size, clusters + 1, dtype=int)
+    per_item: List[List[Tuple[float, float]]] = []
+    for cluster_index in range(clusters):
+        level = levels[cluster_index]
+        for _ in range(edges[cluster_index], edges[cluster_index + 1]):
+            spread = max(level * uncertainty, 0.25)
+            lower = max(level - spread, 0.0)
+            upper = level + spread
+            probs = rng.dirichlet(np.ones(3)) * rng.uniform(0.8, 1.0)
+            outcomes = (lower, level, upper)
+            per_item.append(
+                [(float(round(v, 3)), float(p)) for v, p in zip(outcomes, probs)]
+            )
+    return ValuePdfModel(per_item, domain_size=domain_size)
+
+
+def random_basic_model(
+    domain_size: int,
+    tuple_count: int,
+    *,
+    skew: float = 1.0,
+    seed: Optional[int] = None,
+) -> BasicModel:
+    """Basic-model input with Zipf-distributed item popularity and random confidences."""
+    rng = _rng(seed)
+    if tuple_count <= 0:
+        raise ModelValidationError("tuple_count must be positive")
+    weights = zipf_frequencies(domain_size, skew=skew, total=1.0)
+    items = rng.choice(domain_size, size=tuple_count, p=weights)
+    probabilities = rng.uniform(0.05, 1.0, size=tuple_count)
+    return BasicModel(zip(items.tolist(), probabilities.tolist()), domain_size=domain_size)
+
+
+def random_tuple_pdf_model(
+    domain_size: int,
+    tuple_count: int,
+    *,
+    alternatives: int = 3,
+    window: int = 8,
+    seed: Optional[int] = None,
+) -> TuplePdfModel:
+    """Tuple-pdf input whose alternatives fall in a small window of nearby items.
+
+    Each tuple picks an anchor item and spreads its probability over up to
+    ``alternatives`` distinct items within ``window`` positions of the anchor
+    — the typical shape of attribute-level uncertainty over an ordered domain.
+    """
+    rng = _rng(seed)
+    if tuple_count <= 0:
+        raise ModelValidationError("tuple_count must be positive")
+    rows: List[List[Tuple[int, float]]] = []
+    for _ in range(tuple_count):
+        anchor = int(rng.integers(0, domain_size))
+        count = int(rng.integers(1, alternatives + 1))
+        lo = max(0, anchor - window)
+        hi = min(domain_size - 1, anchor + window)
+        candidates = rng.choice(np.arange(lo, hi + 1), size=min(count, hi - lo + 1), replace=False)
+        raw = rng.dirichlet(np.ones(candidates.size)) * rng.uniform(0.6, 1.0)
+        rows.append([(int(i), float(p)) for i, p in zip(candidates, raw)])
+    return TuplePdfModel(rows, domain_size=domain_size)

@@ -1,0 +1,82 @@
+"""Synthetic stand-in for the MayBMS/TPC-H uncertain data (Section 5, "Data Sets").
+
+The paper's synthetic experiments use the MayBMS extension of the TPC-H
+generator over the ``lineitem``-``partkey`` relation: each uncertain tuple
+lists several possible part keys "with uniform probability over the set of
+values in the tuple", i.e. tuple-pdf input with uniform alternatives.
+
+This generator reproduces that shape without the external tool: line items
+reference part keys with the usual TPC-H-style near-uniform popularity, and
+each uncertain line item spreads its probability uniformly over a small set
+of candidate part keys clustered around the true one (as record-matching
+ambiguity would produce).  The output is a
+:class:`~repro.models.tuple_pdf.TuplePdfModel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelValidationError
+from ..models.tuple_pdf import TuplePdfModel
+
+__all__ = ["generate_tpch_lineitem"]
+
+
+def generate_tpch_lineitem(
+    part_count: int = 1024,
+    lineitem_count: int = 4096,
+    *,
+    max_alternatives: int = 4,
+    ambiguity_window: int = 16,
+    certain_fraction: float = 0.3,
+    seed: Optional[int] = None,
+) -> TuplePdfModel:
+    """Generate a TPC-H-like uncertain ``lineitem``-``partkey`` relation.
+
+    Parameters
+    ----------
+    part_count:
+        Size of the ordered part-key domain.
+    lineitem_count:
+        Number of uncertain line-item tuples to generate.
+    max_alternatives:
+        Maximum number of candidate part keys per uncertain tuple (alternatives
+        get uniform probability, as in the MayBMS-generated data).
+    ambiguity_window:
+        Candidate part keys are drawn from a window of this half-width around
+        the nominal key.
+    certain_fraction:
+        Fraction of line items that are certain (a single alternative with
+        probability one).
+    seed:
+        Seed for reproducible generation.
+    """
+    if part_count <= 0 or lineitem_count <= 0:
+        raise ModelValidationError("part_count and lineitem_count must be positive")
+    if max_alternatives < 1:
+        raise ModelValidationError("max_alternatives must be at least 1")
+    if not 0.0 <= certain_fraction <= 1.0:
+        raise ModelValidationError("certain_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    rows: List[List[Tuple[int, float]]] = []
+    nominal_keys = rng.integers(0, part_count, size=lineitem_count)
+    for nominal in nominal_keys:
+        nominal = int(nominal)
+        if rng.random() < certain_fraction or max_alternatives == 1:
+            rows.append([(nominal, 1.0)])
+            continue
+        count = int(rng.integers(2, max_alternatives + 1))
+        lo = max(0, nominal - ambiguity_window)
+        hi = min(part_count - 1, nominal + ambiguity_window)
+        pool = np.arange(lo, hi + 1)
+        pool = pool[pool != nominal]
+        extras = rng.choice(pool, size=min(count - 1, pool.size), replace=False)
+        candidates = np.concatenate([[nominal], extras])
+        # Uniform probability over the alternatives, as in the MayBMS data.
+        probability = 1.0 / candidates.size
+        rows.append([(int(key), probability) for key in candidates])
+    return TuplePdfModel(rows, domain_size=part_count)

@@ -1,0 +1,29 @@
+"""Expected-error evaluation of synopses.
+
+:mod:`repro.evaluation.errors` evaluates any synopsis under any metric in
+closed form from the per-item marginals; :mod:`repro.evaluation.exhaustive`
+does the same by brute-force possible-world enumeration for small inputs and
+serves as the ground-truth oracle in the test-suite.
+"""
+
+from .errors import (
+    estimates_of,
+    expected_error,
+    normalised_error_percentage,
+    per_item_expected_errors,
+)
+from .exhaustive import (
+    exhaustive_bucket_sse,
+    exhaustive_expected_error,
+    exhaustive_expected_sample_variance_cost,
+)
+
+__all__ = [
+    "estimates_of",
+    "per_item_expected_errors",
+    "expected_error",
+    "normalised_error_percentage",
+    "exhaustive_expected_error",
+    "exhaustive_bucket_sse",
+    "exhaustive_expected_sample_variance_cost",
+]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  The more specific subclasses distinguish problems with
+the probabilistic input data from problems with synopsis construction or
+evaluation requests.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelValidationError(ReproError, ValueError):
+    """Raised when a probabilistic data model is malformed.
+
+    Examples include negative probabilities, per-tuple probabilities summing
+    to more than one, items outside the declared ordered domain, or empty
+    inputs where a non-empty model is required.
+    """
+
+
+class DomainError(ReproError, ValueError):
+    """Raised when an item index lies outside the ordered domain ``[0, n)``."""
+
+
+class SynopsisError(ReproError, ValueError):
+    """Raised when a synopsis cannot be built as requested.
+
+    Examples include a bucket budget larger than the domain, a non-positive
+    budget, or an error metric that the requested construction does not
+    support.
+    """
+
+
+class EvaluationError(ReproError, ValueError):
+    """Raised when an expected-error evaluation request is invalid."""
+
+
+class WorldEnumerationError(ReproError, RuntimeError):
+    """Raised when exhaustive possible-world enumeration would be too large.
+
+    Exhaustive enumeration is exponential in the input size and is only
+    intended as a ground-truth oracle for small inputs (tests and examples).
+    """

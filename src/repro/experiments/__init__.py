@@ -1,0 +1,40 @@
+"""Experiment runners reproducing the paper's evaluation (Section 5).
+
+* :mod:`repro.experiments.figure2` — histogram quality vs bucket budget
+  (Figures 2(a)-(f); the sub-figures differ only in metric / sanity constant);
+* :mod:`repro.experiments.figure3` — construction-time scaling in ``n`` and
+  ``B`` (Figures 3(a)-(b));
+* :mod:`repro.experiments.figure4` — wavelet quality vs coefficient budget
+  (Figures 4(a)-(b));
+* :mod:`repro.experiments.reporting` — text-table / CSV rendering of the
+  results, used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from .figure2 import HistogramQualityResult, QualityCurve, run_histogram_quality
+from .figure3 import TimingPoint, TimingResult, run_timing_vs_buckets, run_timing_vs_domain
+from .figure4 import WaveletQualityCurve, WaveletQualityResult, run_wavelet_quality
+from .reporting import (
+    format_table,
+    histogram_quality_table,
+    timing_table,
+    wavelet_quality_table,
+    write_csv,
+)
+
+__all__ = [
+    "run_histogram_quality",
+    "HistogramQualityResult",
+    "QualityCurve",
+    "run_timing_vs_domain",
+    "run_timing_vs_buckets",
+    "TimingResult",
+    "TimingPoint",
+    "run_wavelet_quality",
+    "WaveletQualityResult",
+    "WaveletQualityCurve",
+    "format_table",
+    "write_csv",
+    "histogram_quality_table",
+    "timing_table",
+    "wavelet_quality_table",
+]

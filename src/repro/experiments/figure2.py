@@ -1,0 +1,174 @@
+"""Figure 2 experiment: histogram quality versus bucket budget (Section 5.1).
+
+For a chosen cumulative error metric the experiment compares three ways of
+building a ``B``-bucket histogram of probabilistic data —
+
+* **probabilistic**: the optimal DP construction of Section 3 (this package's
+  main contribution),
+* **expectation**: the optimal deterministic histogram of the expected
+  frequencies,
+* **sampled world**: the optimal deterministic histogram of one sampled
+  possible world (repeated for a few independent samples),
+
+— and reports each histogram's expected error as a *percentage of the
+achievable range*: 0% is the error of the ``n``-bucket histogram (one bucket
+per item, the smallest achievable), 100% the error of the single-bucket
+histogram.  This mirrors the paper's Figure 2(a)-(f) exactly; the individual
+sub-figures differ only in the metric and sanity constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.histogram import Histogram
+from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from ..evaluation.errors import expected_error, normalised_error_percentage
+from ..exceptions import EvaluationError
+from ..histograms.deterministic import deterministic_cost_function
+from ..histograms.dp import histogram_from_boundaries, solve_dynamic_program
+from ..histograms.factory import make_cost_function
+from ..models.base import ProbabilisticModel
+
+__all__ = ["QualityCurve", "HistogramQualityResult", "run_histogram_quality"]
+
+
+@dataclasses.dataclass
+class QualityCurve:
+    """One method's error curve over the bucket budgets."""
+
+    method: str
+    budgets: List[int]
+    errors: List[float]
+    error_percents: List[float]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for tabulation / CSV export."""
+        return [
+            {"method": self.method, "buckets": b, "error": e, "error_percent": p}
+            for b, e, p in zip(self.budgets, self.errors, self.error_percents)
+        ]
+
+
+@dataclasses.dataclass
+class HistogramQualityResult:
+    """All curves of one Figure 2 sub-plot plus the normalisation anchors."""
+
+    metric: str
+    domain_size: int
+    budgets: List[int]
+    curves: Dict[str, QualityCurve]
+    min_error: float
+    max_error: float
+
+    def curve(self, method: str) -> QualityCurve:
+        if method not in self.curves:
+            raise EvaluationError(f"no curve for method {method!r}")
+        return self.curves[method]
+
+    def sampled_world_methods(self) -> List[str]:
+        """Names of the sampled-world curves (one per independent sample)."""
+        return sorted(name for name in self.curves if name.startswith("sampled_world"))
+
+
+def _singleton_histogram(cost_fn) -> Histogram:
+    """The ``n``-bucket histogram: every item its own bucket with the optimal representative."""
+    boundaries = [(i, i) for i in range(cost_fn.domain_size)]
+    return histogram_from_boundaries(cost_fn, boundaries)
+
+
+def _curve_from_histograms(
+    method: str,
+    model: ProbabilisticModel,
+    histograms: Sequence[Histogram],
+    budgets: Sequence[int],
+    spec: MetricSpec,
+    min_error: float,
+    max_error: float,
+) -> QualityCurve:
+    errors = [expected_error(model, h, spec) for h in histograms]
+    percents = [normalised_error_percentage(e, min_error, max_error) for e in errors]
+    return QualityCurve(method, list(budgets), errors, percents)
+
+
+def run_histogram_quality(
+    model: ProbabilisticModel,
+    metric: Union[str, ErrorMetric, MetricSpec],
+    budgets: Sequence[int],
+    *,
+    sanity: float = DEFAULT_SANITY,
+    sample_count: int = 3,
+    seed: Optional[int] = None,
+    sse_variant: str = "fixed",
+) -> HistogramQualityResult:
+    """Run one Figure 2 sub-experiment and return all method curves.
+
+    Parameters
+    ----------
+    model:
+        The probabilistic input relation.
+    metric:
+        The cumulative error metric of the sub-figure (SSE, SSRE, SAE, SARE).
+    budgets:
+        Bucket budgets to sweep (the x-axis of the figure).
+    sample_count:
+        Number of independent sampled-world baselines.
+    seed:
+        Seed for the world sampling.
+    sse_variant:
+        SSE construction variant for the probabilistic method.
+    """
+    spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
+    if not spec.cumulative:
+        raise EvaluationError("the Figure 2 experiment uses cumulative error metrics")
+    budgets = sorted(set(int(b) for b in budgets))
+    if not budgets:
+        raise EvaluationError("at least one bucket budget is required")
+    rng = np.random.default_rng(seed)
+
+    # Probabilistic construction: one DP run serves every budget.
+    cost_fn = make_cost_function(model, spec, sse_variant=sse_variant)
+    dp = solve_dynamic_program(cost_fn, max(budgets))
+    probabilistic = [dp.histogram(min(b, model.domain_size)) for b in budgets]
+
+    # Normalisation anchors: 1-bucket (worst) and n-bucket (best) histograms.
+    max_error = expected_error(model, dp.histogram(1), spec)
+    min_error = expected_error(model, _singleton_histogram(cost_fn), spec)
+
+    curves: Dict[str, QualityCurve] = {}
+    curves["probabilistic"] = _curve_from_histograms(
+        "probabilistic", model, probabilistic, budgets, spec, min_error, max_error
+    )
+
+    # Expectation baseline: deterministic DP over the expected frequencies.
+    expectation_cost = deterministic_cost_function(
+        model.expected_frequencies(), spec, sanity=spec.sanity
+    )
+    expectation_dp = solve_dynamic_program(expectation_cost, max(budgets))
+    expectation = [expectation_dp.histogram(min(b, model.domain_size)) for b in budgets]
+    curves["expectation"] = _curve_from_histograms(
+        "expectation", model, expectation, budgets, spec, min_error, max_error
+    )
+
+    # Sampled-world baselines: deterministic DP over each sampled world.
+    for sample_index in range(max(sample_count, 0)):
+        world = model.sample_world(rng)
+        world_cost = deterministic_cost_function(world, spec, sanity=spec.sanity)
+        world_dp = solve_dynamic_program(world_cost, max(budgets))
+        sampled = [world_dp.histogram(min(b, model.domain_size)) for b in budgets]
+        name = f"sampled_world_{sample_index + 1}"
+        curves[name] = _curve_from_histograms(
+            name, model, sampled, budgets, spec, min_error, max_error
+        )
+
+    return HistogramQualityResult(
+        metric=spec.describe(),
+        domain_size=model.domain_size,
+        budgets=budgets,
+        curves=curves,
+        min_error=min_error,
+        max_error=max_error,
+    )

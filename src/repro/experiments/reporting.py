@@ -1,0 +1,96 @@
+"""Plain-text and CSV reporting for the experiment results.
+
+The benchmark harness and the example scripts print the same series the
+paper plots; these helpers render them as aligned text tables (for terminal
+output and EXPERIMENTS.md) and write CSV files for further analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from .figure2 import HistogramQualityResult
+from .figure3 import TimingResult
+from .figure4 import WaveletQualityResult
+
+__all__ = [
+    "format_table",
+    "write_csv",
+    "histogram_quality_table",
+    "timing_table",
+    "wavelet_quality_table",
+]
+
+Row = Mapping[str, Union[str, int, float]]
+
+
+def format_table(rows: Sequence[Row], columns: Sequence[str] | None = None) -> str:
+    """Render rows of dictionaries as an aligned, pipe-separated text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[idx]) for line in table)) for idx, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path], columns: Sequence[str] | None = None) -> Path:
+    """Write rows of dictionaries to a CSV file and return its path."""
+    rows = list(rows)
+    path = Path(path)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col, "") for col in columns})
+    return path
+
+
+def histogram_quality_table(result: HistogramQualityResult) -> str:
+    """Text table of a Figure 2 result: one row per (budget, method)."""
+    rows: List[Dict[str, Union[str, int, float]]] = []
+    for method, curve in sorted(result.curves.items()):
+        rows.extend(curve.as_rows())
+    header = (
+        f"Figure 2 analogue - metric {result.metric}, n={result.domain_size}, "
+        f"error range [{result.min_error:.4g}, {result.max_error:.4g}]\n"
+    )
+    return header + format_table(rows, ["method", "buckets", "error", "error_percent"])
+
+
+def timing_table(result: TimingResult) -> str:
+    """Text table of a Figure 3 result."""
+    header = f"Figure 3 analogue - metric {result.metric}, swept {result.swept}\n"
+    return header + format_table(result.as_rows(), ["domain_size", "buckets", "seconds"])
+
+
+def wavelet_quality_table(result: WaveletQualityResult) -> str:
+    """Text table of a Figure 4 result."""
+    rows: List[Dict[str, Union[str, int, float]]] = []
+    for method, curve in sorted(result.curves.items()):
+        rows.extend(curve.as_rows())
+    header = (
+        f"Figure 4 analogue - n={result.domain_size}, "
+        f"total expected-coefficient energy {result.total_energy:.4g}\n"
+    )
+    return header + format_table(rows, ["method", "coefficients", "error_percent", "expected_sse"])

@@ -1,0 +1,63 @@
+"""Histogram synopses on probabilistic data (Section 3 of the paper).
+
+The subpackage is organised around a single abstraction: a *bucket-cost
+oracle* (:class:`BucketCostFunction`) that answers "what is the optimal cost
+and representative of a bucket spanning ``[s, e]``" in (near) constant time
+from precomputed prefix arrays.  One oracle exists per error metric; the
+generic dynamic program (:func:`optimal_histogram`), its budget-sweeping
+variant, and the ``(1+eps)`` approximate construction all work against that
+interface, as do the deterministic substrate and the naive baselines.
+"""
+
+from .absolute import WeightedAbsoluteCost
+from .approx import approximate_boundaries, approximate_histogram
+from .baselines import expectation_histogram, sampled_world_histogram
+from .cost_base import BucketCostFunction
+from .deterministic import (
+    deterministic_cost_function,
+    equi_depth_histogram,
+    equi_width_histogram,
+    maxdiff_histogram,
+    optimal_deterministic_histogram,
+)
+from .dp import (
+    DynamicProgramResult,
+    histogram_from_boundaries,
+    optimal_boundaries,
+    optimal_histogram,
+    optimal_histograms_for_budgets,
+    solve_dynamic_program,
+)
+from .factory import make_cost_function
+from .max_error import MaxAbsoluteCost, MaxAbsoluteRelativeCost
+from .sae import SaeCost
+from .sare import SareCost
+from .sse import SseCost
+from .ssre import SsreCost
+
+__all__ = [
+    "BucketCostFunction",
+    "SseCost",
+    "SsreCost",
+    "SaeCost",
+    "SareCost",
+    "MaxAbsoluteCost",
+    "MaxAbsoluteRelativeCost",
+    "WeightedAbsoluteCost",
+    "make_cost_function",
+    "DynamicProgramResult",
+    "solve_dynamic_program",
+    "optimal_boundaries",
+    "optimal_histogram",
+    "optimal_histograms_for_budgets",
+    "histogram_from_boundaries",
+    "approximate_boundaries",
+    "approximate_histogram",
+    "deterministic_cost_function",
+    "optimal_deterministic_histogram",
+    "equi_width_histogram",
+    "equi_depth_histogram",
+    "maxdiff_histogram",
+    "expectation_histogram",
+    "sampled_world_histogram",
+]

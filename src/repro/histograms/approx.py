@@ -1,0 +1,127 @@
+"""Fast ``(1 + eps)``-approximate histogram construction (Section 3.5).
+
+The exact dynamic program evaluates ``O(n)`` candidate split points for each
+(prefix, budget) cell, which dominates the ``O(B n^2)`` running time.  Guha,
+Koudas and Shim observed that for cumulative error objectives it suffices to
+consider only split points at which the previous row of the DP crosses a
+geometric error threshold: because row ``b-1`` of the DP is non-decreasing in
+the prefix length and bucket costs are non-negative and monotone, thinning
+the candidate set this way inflates the final error by at most a
+``(1 + delta)`` factor per row, i.e. ``(1 + delta)^B <= 1 + eps`` overall for
+``delta = eps / (2B)``.
+
+This module implements that interval-thinning scheme on top of the same
+bucket-cost oracles used by the exact DP.  It applies to the cumulative
+metrics (SSE, SSRE, SAE, SARE); maximum-error metrics keep the exact DP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.histogram import Histogram
+from ..exceptions import SynopsisError
+from .cost_base import BucketCostFunction
+from .dp import histogram_from_boundaries
+
+__all__ = ["approximate_boundaries", "approximate_histogram"]
+
+
+def _candidate_splits(prefix_errors: np.ndarray, delta: float) -> np.ndarray:
+    """Split points where the (non-decreasing) prefix error crosses a geometric level.
+
+    For each level ``(1 + delta)^k`` we keep the *largest* prefix index whose
+    error is still at or below the level — using the largest such index gives
+    the later rows the longest admissible prefixes, which is what the
+    approximation argument requires.  The last index is always kept.
+    """
+    n = prefix_errors.size
+    keep = np.zeros(n, dtype=bool)
+    keep[-1] = True
+    keep[0] = True
+    positive = prefix_errors[prefix_errors > 0]
+    if positive.size == 0:
+        # All-zero prefix errors: every split is equally good; keep the ends.
+        return np.nonzero(keep)[0]
+    low = float(positive.min())
+    high = float(prefix_errors[-1])
+    level = low
+    factor = 1.0 + delta
+    # Indices with error exactly zero are all kept collapsed to the largest one.
+    zero_indices = np.nonzero(prefix_errors <= 0)[0]
+    if zero_indices.size:
+        keep[zero_indices[-1]] = True
+    while level <= high * factor:
+        idx = int(np.searchsorted(prefix_errors, level, side="right")) - 1
+        if idx >= 0:
+            keep[idx] = True
+        level *= factor
+        if level == 0:  # pragma: no cover - defensive
+            break
+    return np.nonzero(keep)[0]
+
+
+def approximate_boundaries(
+    cost_fn: BucketCostFunction, buckets: int, epsilon: float = 0.1
+) -> List[Tuple[int, int]]:
+    """Bucket spans of a ``(1 + epsilon)``-approximate optimal histogram."""
+    if cost_fn.aggregation != "sum":
+        raise SynopsisError(
+            "the approximate construction applies to cumulative error objectives only"
+        )
+    if epsilon <= 0:
+        raise SynopsisError("epsilon must be positive")
+    n = cost_fn.domain_size
+    if n <= 0:
+        raise SynopsisError("cannot build a histogram over an empty domain")
+    buckets = max(1, min(buckets, n))
+    delta = epsilon / (2.0 * buckets)
+
+    # Row 1: exact prefix costs of a single bucket.
+    errors = np.array([cost_fn.cost(0, j) for j in range(n)], dtype=float)
+    parents: List[np.ndarray] = [np.full(n, -1, dtype=np.int64)]
+
+    for _ in range(1, buckets):
+        prev = errors
+        candidates = _candidate_splits(prev, delta)
+        row = np.empty(n, dtype=float)
+        row_parent = np.full(n, -1, dtype=np.int64)
+        for j in range(n):
+            usable = candidates[candidates < j]
+            if usable.size == 0:
+                row[j] = prev[j]
+                row_parent[j] = parents[-1][j]
+                continue
+            bucket_costs = cost_fn.costs_for_starts(usable + 1, j)
+            totals = prev[usable] + bucket_costs
+            best = int(np.argmin(totals))
+            if totals[best] <= prev[j]:
+                row[j] = totals[best]
+                row_parent[j] = usable[best]
+            else:
+                row[j] = prev[j]
+                row_parent[j] = parents[-1][j]
+        errors = row
+        parents.append(row_parent)
+
+    # Reconstruct the bucketing from the back-pointers.
+    spans: List[Tuple[int, int]] = []
+    j = n - 1
+    level = len(parents) - 1
+    while j >= 0:
+        split = int(parents[level][j])
+        spans.append((split + 1, j))
+        j = split
+        level = max(level - 1, 0)
+    spans.reverse()
+    return spans
+
+
+def approximate_histogram(
+    cost_fn: BucketCostFunction, buckets: int, epsilon: float = 0.1
+) -> Histogram:
+    """A ``(1 + epsilon)``-approximate optimal histogram with optimal representatives."""
+    return histogram_from_boundaries(cost_fn, approximate_boundaries(cost_fn, buckets, epsilon))

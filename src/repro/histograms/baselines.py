@@ -1,0 +1,54 @@
+"""Naive baselines for histograms on probabilistic data (Sections 2.3 and 5).
+
+The paper compares its probabilistic constructions against two straightforward
+ways of reusing deterministic technology:
+
+* **Sampled world** — draw one possible world according to its probability
+  and build the optimal deterministic histogram of that world.
+* **Expectation** — compute the expected frequency of every item and build
+  the optimal deterministic histogram of the expected data (equivalent to
+  averaging many sampled worlds).
+
+Both produce a complete histogram (boundaries *and* representatives) from a
+deterministic input; their quality is then judged under the probabilistic
+expected-error metrics, which is where they fall short of the optimal
+probabilistic construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.histogram import Histogram
+from ..core.metrics import ErrorMetric, MetricSpec
+from ..models.base import ProbabilisticModel
+from .deterministic import optimal_deterministic_histogram
+
+__all__ = ["expectation_histogram", "sampled_world_histogram"]
+
+
+def expectation_histogram(
+    model: ProbabilisticModel,
+    buckets: int,
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    *,
+    sanity: float = 1.0,
+) -> Histogram:
+    """Optimal deterministic histogram of the expected frequencies ``E[g_i]``."""
+    expected = model.expected_frequencies()
+    return optimal_deterministic_histogram(expected, buckets, metric, sanity=sanity)
+
+
+def sampled_world_histogram(
+    model: ProbabilisticModel,
+    buckets: int,
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    *,
+    sanity: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Histogram:
+    """Optimal deterministic histogram of one sampled possible world."""
+    world = model.sample_world(rng)
+    return optimal_deterministic_histogram(world, buckets, metric, sanity=sanity)

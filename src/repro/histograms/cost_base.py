@@ -1,0 +1,89 @@
+"""Abstract bucket-cost oracle used by the histogram dynamic programs.
+
+The paper's histogram constructions (Section 3) all share the same outer
+structure: a dynamic program over bucket boundaries (Eq. 2) that repeatedly
+asks *"what is the optimal cost of a single bucket spanning items
+``[start, end]``, and which representative value achieves it?"*.  All the
+per-metric analysis goes into answering that question from precomputed
+prefix arrays.
+
+:class:`BucketCostFunction` is that oracle interface.  Concrete subclasses
+(:class:`~repro.histograms.sse.SseCost`, :class:`~repro.histograms.ssre.SsreCost`,
+the SAE/SARE/MAE/MARE oracles) implement :meth:`cost_and_representative` and,
+when possible, the vectorised :meth:`costs_for_starts` used by the inner DP
+loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+
+__all__ = ["BucketCostFunction"]
+
+
+class BucketCostFunction(abc.ABC):
+    """Oracle for the optimal cost/representative of a single histogram bucket.
+
+    Attributes
+    ----------
+    aggregation:
+        ``"sum"`` for cumulative error objectives (the histogram's total error
+        is the sum of bucket costs) or ``"max"`` for maximum-error objectives
+        (the total is the maximum bucket cost).  This is the ``h`` combiner of
+        Eq. 2 in the paper.
+    """
+
+    #: How bucket costs combine into the histogram objective.
+    aggregation: str = "sum"
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def domain_size(self) -> int:
+        """Size ``n`` of the ordered item domain."""
+
+    @abc.abstractmethod
+    def cost_and_representative(self, start: int, end: int) -> Tuple[float, float]:
+        """Optimal cost and representative of the bucket spanning ``[start, end]``.
+
+        ``start`` and ``end`` are inclusive item indices with
+        ``0 <= start <= end < domain_size``.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+    def cost(self, start: int, end: int) -> float:
+        """Optimal cost of the bucket ``[start, end]``."""
+        return self.cost_and_representative(start, end)[0]
+
+    def representative(self, start: int, end: int) -> float:
+        """Optimal representative value of the bucket ``[start, end]``."""
+        return self.cost_and_representative(start, end)[1]
+
+    def costs_for_starts(self, starts: np.ndarray, end: int) -> np.ndarray:
+        """Optimal costs of all buckets ``[start, end]`` for the given starts.
+
+        The dynamic program calls this once per (row, prefix-end) pair; cost
+        oracles backed by prefix arrays override it with a fully vectorised
+        implementation.  The default simply loops.
+        """
+        return np.array([self.cost(int(s), end) for s in starts], dtype=float)
+
+    def total_cost(self, boundaries) -> float:
+        """Objective value of an explicit bucketing (list of ``(start, end)`` spans)."""
+        costs = [self.cost(start, end) for start, end in boundaries]
+        if not costs:
+            raise SynopsisError("cannot score an empty bucketing")
+        return float(sum(costs)) if self.aggregation == "sum" else float(max(costs))
+
+    def _check_span(self, start: int, end: int) -> None:
+        if not (0 <= start <= end < self.domain_size):
+            raise SynopsisError(
+                f"invalid bucket span [{start}, {end}] for domain of size {self.domain_size}"
+            )

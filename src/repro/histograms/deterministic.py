@@ -1,0 +1,144 @@
+"""Histogram construction over deterministic (certain) frequency vectors.
+
+The paper's baselines ("sampled world" and "expectation", Section 5) build
+*deterministic* histograms and the paper deliberately reuses the same code
+path: "deterministic data can be interpreted as probabilistic data in the
+value pdf model with probability 1 of attaining a certain frequency".  This
+module provides exactly that wrapper — the optimal deterministic histogram
+for every supported metric (the classic V-optimal histogram when the metric
+is SSE) — plus a few standard heuristic constructions (equi-width,
+equi-depth, MaxDiff) that are useful as additional comparison points and as
+cheap starting solutions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.histogram import Bucket, Histogram
+from ..core.metrics import ErrorMetric, MetricSpec
+from ..exceptions import SynopsisError
+from ..models.frequency import FrequencyDistributions
+from .dp import histogram_from_boundaries, optimal_histogram
+from .factory import make_cost_function
+
+__all__ = [
+    "deterministic_cost_function",
+    "optimal_deterministic_histogram",
+    "equi_width_histogram",
+    "equi_depth_histogram",
+    "maxdiff_histogram",
+]
+
+
+def deterministic_cost_function(
+    frequencies: Sequence[float],
+    metric: Union[str, ErrorMetric, MetricSpec],
+    *,
+    sanity: float = 1.0,
+):
+    """Bucket-cost oracle for a certain frequency vector under ``metric``."""
+    distributions = FrequencyDistributions.deterministic(np.asarray(frequencies, dtype=float))
+    return make_cost_function(distributions, metric, sanity=sanity)
+
+
+def optimal_deterministic_histogram(
+    frequencies: Sequence[float],
+    buckets: int,
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    *,
+    sanity: float = 1.0,
+) -> Histogram:
+    """The optimal ``buckets``-bucket histogram of a certain frequency vector.
+
+    With ``metric=SSE`` this is the classic V-optimal histogram of
+    Jagadish et al.; the other metrics give their respective optima.
+    """
+    cost_fn = deterministic_cost_function(frequencies, metric, sanity=sanity)
+    return optimal_histogram(cost_fn, buckets)
+
+
+# ----------------------------------------------------------------------
+# Heuristic constructions (deterministic substrate)
+# ----------------------------------------------------------------------
+def _mean_representatives(frequencies: np.ndarray, boundaries: List[Tuple[int, int]]) -> Histogram:
+    buckets = [
+        Bucket(start, end, float(frequencies[start : end + 1].mean()))
+        for start, end in boundaries
+    ]
+    return Histogram(buckets, frequencies.size)
+
+
+def _validate(frequencies: Sequence[float], buckets: int) -> np.ndarray:
+    freq = np.asarray(frequencies, dtype=float)
+    if freq.ndim != 1 or freq.size == 0:
+        raise SynopsisError("frequencies must be a non-empty 1-D sequence")
+    if buckets < 1:
+        raise SynopsisError("the bucket budget must be at least 1")
+    return freq
+
+
+def equi_width_histogram(frequencies: Sequence[float], buckets: int) -> Histogram:
+    """Buckets of (as near as possible) equal span; representatives are bucket means."""
+    freq = _validate(frequencies, buckets)
+    n = freq.size
+    buckets = min(buckets, n)
+    edges = np.linspace(0, n, buckets + 1, dtype=int)
+    boundaries = [
+        (int(edges[k]), int(edges[k + 1] - 1)) for k in range(buckets) if edges[k + 1] > edges[k]
+    ]
+    return _mean_representatives(freq, boundaries)
+
+
+def equi_depth_histogram(frequencies: Sequence[float], buckets: int) -> Histogram:
+    """Buckets holding (as near as possible) equal total frequency mass.
+
+    This is the histogram induced by the quantiles of the cumulative
+    frequency distribution — the "equi-depth" histogram the paper relates to
+    prior work on probabilistic quantiles.
+    """
+    freq = _validate(frequencies, buckets)
+    n = freq.size
+    buckets = min(buckets, n)
+    cumulative = np.cumsum(np.maximum(freq, 0.0))
+    total = cumulative[-1]
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for k in range(buckets):
+        if start >= n:
+            break
+        if k == buckets - 1:
+            end = n - 1
+        else:
+            target = total * (k + 1) / buckets
+            end = int(np.searchsorted(cumulative, target, side="left"))
+            end = min(max(end, start), n - 1)
+            # Leave enough items for the remaining buckets.
+            end = min(end, n - (buckets - k - 1) - 1)
+            end = max(end, start)
+        boundaries.append((start, end))
+        start = end + 1
+    if boundaries and boundaries[-1][1] != n - 1:
+        boundaries[-1] = (boundaries[-1][0], n - 1)
+    return _mean_representatives(freq, boundaries)
+
+
+def maxdiff_histogram(frequencies: Sequence[float], buckets: int) -> Histogram:
+    """Boundaries placed at the largest adjacent-frequency differences (MaxDiff)."""
+    freq = _validate(frequencies, buckets)
+    n = freq.size
+    buckets = min(buckets, n)
+    if buckets == 1 or n == 1:
+        return _mean_representatives(freq, [(0, n - 1)])
+    diffs = np.abs(np.diff(freq))
+    # The (buckets - 1) largest gaps become boundaries after positions i.
+    split_positions = np.sort(np.argsort(diffs)[::-1][: buckets - 1])
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for pos in split_positions:
+        boundaries.append((start, int(pos)))
+        start = int(pos) + 1
+    boundaries.append((start, n - 1))
+    return _mean_representatives(freq, boundaries)

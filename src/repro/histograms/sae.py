@@ -1,0 +1,36 @@
+"""Sum-absolute-error bucket costs (Section 3.3).
+
+The expected SAE contribution of a bucket with representative ``b̂`` is
+``sum_{i in b} sum_{v in V} Pr[g_i = v] |v - b̂|``; the optimal ``b̂`` is a
+weighted median of the bucket's pooled frequency distribution over the value
+grid ``V``.  All of the machinery lives in
+:class:`~repro.histograms.absolute.WeightedAbsoluteCost`; this oracle simply
+uses unit value-weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.frequency import FrequencyDistributions
+from .absolute import WeightedAbsoluteCost
+
+__all__ = ["SaeCost"]
+
+
+class SaeCost(WeightedAbsoluteCost):
+    """Bucket-cost oracle for the expected sum-absolute-error objective."""
+
+    def __init__(
+        self, distributions: FrequencyDistributions, *, workload: np.ndarray | None = None
+    ) -> None:
+        super().__init__(
+            distributions,
+            value_weight=lambda values: np.ones_like(values),
+            item_weights=workload,
+        )
+
+    @classmethod
+    def from_model(cls, model, *, workload: np.ndarray | None = None) -> "SaeCost":
+        """Build the oracle from any probabilistic model via its induced marginals."""
+        return cls(model.to_frequency_distributions(), workload=workload)

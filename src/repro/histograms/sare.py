@@ -1,0 +1,52 @@
+"""Sum-absolute-relative-error bucket costs (Section 3.4).
+
+The expected SARE contribution of a bucket with representative ``b̂`` is
+``sum_{i in b} sum_{v in V} (Pr[g_i = v] / max(c, v)) |v - b̂|`` with sanity
+constant ``c``.  As the paper observes, this is exactly the weighted
+absolute-error problem with weights ``w_{i,j} = Pr[g_i = v_j] / max(c, v_j)``,
+so the oracle reuses :class:`~repro.histograms.absolute.WeightedAbsoluteCost`
+with a relative value-weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.metrics import DEFAULT_SANITY
+from ..exceptions import SynopsisError
+from ..models.frequency import FrequencyDistributions
+from .absolute import WeightedAbsoluteCost
+
+__all__ = ["SareCost"]
+
+
+class SareCost(WeightedAbsoluteCost):
+    """Bucket-cost oracle for the expected sum-absolute-relative-error objective."""
+
+    def __init__(
+        self,
+        distributions: FrequencyDistributions,
+        *,
+        sanity: float = DEFAULT_SANITY,
+        workload: np.ndarray | None = None,
+    ) -> None:
+        if sanity <= 0:
+            raise SynopsisError("the sanity constant c must be positive")
+        self._sanity = float(sanity)
+        super().__init__(
+            distributions,
+            value_weight=lambda values: 1.0 / np.maximum(self._sanity, np.abs(values)),
+            item_weights=workload,
+        )
+
+    @property
+    def sanity(self) -> float:
+        """The sanity constant ``c`` of the relative error."""
+        return self._sanity
+
+    @classmethod
+    def from_model(
+        cls, model, *, sanity: float = DEFAULT_SANITY, workload: np.ndarray | None = None
+    ) -> "SareCost":
+        """Build the oracle from any probabilistic model via its induced marginals."""
+        return cls(model.to_frequency_distributions(), sanity=sanity, workload=workload)

@@ -1,0 +1,23 @@
+"""Input/output: JSON and text interchange formats for models and synopses."""
+
+from .text_format import (
+    model_from_dict,
+    model_to_dict,
+    read_basic_text,
+    read_model,
+    read_synopsis,
+    write_basic_text,
+    write_model,
+    write_synopsis,
+)
+
+__all__ = [
+    "model_to_dict",
+    "model_from_dict",
+    "write_model",
+    "read_model",
+    "read_basic_text",
+    "write_basic_text",
+    "write_synopsis",
+    "read_synopsis",
+]

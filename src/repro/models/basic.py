@@ -1,0 +1,80 @@
+"""The basic uncertainty model (Definition 1 of the paper).
+
+The input is a sequence of ``(item, probability)`` pairs; pair ``j`` states
+that item ``t_j`` appears in a possible world independently with probability
+``p_j``.  Several pairs may reference the same domain item, in which case the
+item's frequency in a world is the number of its pairs that materialised.
+
+The basic model is exactly the special case of the tuple-pdf model in which
+every tuple has a single alternative, so :class:`BasicModel` is implemented
+as a thin subclass of :class:`~repro.models.tuple_pdf.TuplePdfModel`.  The
+MystiQ movie-linkage data used in the paper's experiments arrives in this
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelValidationError
+from .tuple_pdf import ProbabilisticTuple, TuplePdfModel
+
+__all__ = ["BasicModel"]
+
+
+class BasicModel(TuplePdfModel):
+    """A probabilistic relation given as independent ``(item, probability)`` pairs."""
+
+    def __init__(
+        self,
+        pairs: Iterable[Tuple[int, float]],
+        domain_size: Optional[int] = None,
+    ):
+        pair_list = [(int(item), float(prob)) for item, prob in pairs]
+        if not pair_list:
+            raise ModelValidationError("a basic model needs at least one (item, probability) pair")
+        for item, prob in pair_list:
+            if prob < 0.0 or prob > 1.0 + 1e-9:
+                raise ModelValidationError(
+                    f"pair probability {prob} for item {item} must lie in [0, 1]"
+                )
+        tuples = [ProbabilisticTuple([(item, min(prob, 1.0))]) for item, prob in pair_list]
+        super().__init__(tuples, domain_size=domain_size)
+        self._pairs = pair_list
+
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> List[Tuple[int, float]]:
+        """The raw ``(item, probability)`` pairs of the input."""
+        return list(self._pairs)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        items: Iterable[int],
+        probabilities: Iterable[float],
+        domain_size: Optional[int] = None,
+    ) -> "BasicModel":
+        """Build from parallel item / probability arrays."""
+        items = list(items)
+        probabilities = list(probabilities)
+        if len(items) != len(probabilities):
+            raise ModelValidationError("items and probabilities must have equal length")
+        return cls(zip(items, probabilities), domain_size=domain_size)
+
+    def certain_subset(self, threshold: float = 1.0) -> np.ndarray:
+        """Frequencies of the sub-relation whose pairs have probability >= threshold.
+
+        Handy for sanity checks: with ``threshold=1.0`` this is the
+        deterministic portion of the data.
+        """
+        frequencies = np.zeros(self.domain_size)
+        for item, prob in self._pairs:
+            if prob >= threshold:
+                frequencies[item] += 1.0
+        return frequencies
+
+    def __repr__(self) -> str:
+        return f"BasicModel(n={self.domain_size}, m={self.size})"

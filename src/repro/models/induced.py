@@ -1,0 +1,98 @@
+"""Induced value pdfs: per-item frequency distributions for tuple-style models.
+
+In the basic and tuple-pdf models the frequency ``g_i`` of an item ``i`` is
+the number of input tuples that realise ``i``.  Because tuples are mutually
+independent, ``g_i`` is a *Poisson-binomial* random variable: a sum of
+independent Bernoulli indicators with (generally distinct) success
+probabilities.  Section 2.1 of the paper observes that the induced per-item
+pdf can be built "inductively, taking time O(|V|) to update the value pdf
+built so far" — which is exactly the convolution implemented here.
+
+Note that for the tuple-pdf model the induced marginals are *not* mutually
+independent (alternatives within a tuple are exclusive); this matters only
+for the sum-squared-error bucket cost, which handles the covariance term
+separately (see :mod:`repro.histograms.sse`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelValidationError
+from .frequency import FrequencyDistributions
+from .values import ValueGrid
+
+__all__ = ["poisson_binomial_pmf", "induced_distributions_from_bernoullis"]
+
+
+def poisson_binomial_pmf(probabilities: Sequence[float]) -> np.ndarray:
+    """Probability mass function of a sum of independent Bernoulli variables.
+
+    Parameters
+    ----------
+    probabilities:
+        Success probabilities ``p_1, ..., p_k`` (each in ``[0, 1]``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array ``pmf`` of length ``k + 1`` with ``pmf[c] = Pr[sum = c]``.
+
+    Notes
+    -----
+    Computed by iterative convolution with the two-point kernel
+    ``[1 - p, p]``; this is the textbook ``O(k^2)`` dynamic program, which is
+    exact and fast for the small per-item tuple counts seen in practice.
+    """
+    probs = np.asarray(list(probabilities), dtype=float)
+    if probs.size and (probs.min() < -1e-12 or probs.max() > 1.0 + 1e-12):
+        raise ModelValidationError("Bernoulli probabilities must lie in [0, 1]")
+    probs = np.clip(probs, 0.0, 1.0)
+    pmf = np.array([1.0])
+    for p in probs:
+        next_pmf = np.zeros(pmf.size + 1)
+        next_pmf[: pmf.size] += pmf * (1.0 - p)
+        next_pmf[1:] += pmf * p
+        pmf = next_pmf
+    # Guard against tiny negative values introduced by floating point error.
+    np.clip(pmf, 0.0, None, out=pmf)
+    total = pmf.sum()
+    if total > 0:
+        pmf /= total
+    return pmf
+
+
+def induced_distributions_from_bernoullis(
+    per_item_probabilities: Dict[int, List[float]], domain_size: int
+) -> FrequencyDistributions:
+    """Build per-item induced frequency pdfs from Bernoulli occurrence lists.
+
+    ``per_item_probabilities[i]`` lists, for every input tuple that can
+    realise item ``i``, the probability that it does so.  Items absent from
+    the mapping have frequency zero with certainty.
+
+    Returns a :class:`FrequencyDistributions` over the integer grid
+    ``0..max_count`` where ``max_count`` is the largest number of tuples that
+    can produce any single item.
+    """
+    if domain_size <= 0:
+        raise ModelValidationError("domain_size must be positive")
+    max_count = 0
+    for item, plist in per_item_probabilities.items():
+        if not 0 <= item < domain_size:
+            raise ModelValidationError(
+                f"item {item} outside the ordered domain [0, {domain_size})"
+            )
+        max_count = max(max_count, len(plist))
+    grid = ValueGrid.from_counts(max_count)
+    probs = np.zeros((domain_size, len(grid)), dtype=float)
+    zero_idx = grid.index_of(0.0)
+    probs[:, zero_idx] = 1.0
+    for item, plist in per_item_probabilities.items():
+        pmf = poisson_binomial_pmf(plist)
+        probs[item, :] = 0.0
+        for count, mass in enumerate(pmf):
+            probs[item, grid.index_of(float(count))] = mass
+    return FrequencyDistributions(grid, probs, copy=False)

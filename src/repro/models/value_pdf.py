@@ -1,0 +1,177 @@
+"""The value-pdf uncertainty model (Definition 3 of the paper).
+
+Each domain item ``i`` carries its own discrete distribution over frequency
+values: ``Pr[g_i = f_{i1}] = p_{i1}, ...`` with probabilities summing to at
+most one (the remainder implicitly assigned to frequency zero).  Distinct
+items are mutually independent.  This is the natural model for, e.g., sensors
+reporting an uncertain reading for a known measurement point.
+
+Unlike the basic and tuple-pdf models, frequencies here may be arbitrary
+non-negative reals, not just integer occurrence counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DomainError, ModelValidationError
+from .base import ProbabilisticModel
+from .frequency import FrequencyDistributions
+from .worlds import PossibleWorld
+
+__all__ = ["ValuePdfModel"]
+
+
+class ValuePdfModel(ProbabilisticModel):
+    """A probabilistic relation given as independent per-item frequency pdfs.
+
+    Parameters
+    ----------
+    per_item_pairs:
+        A sequence of length ``n`` whose ``i``-th entry lists the
+        ``(frequency, probability)`` pairs of item ``i``.  An empty list means
+        the item is zero with certainty.
+    domain_size:
+        Optional explicit domain size; must be at least ``len(per_item_pairs)``
+        (missing trailing items are zero with certainty).
+    """
+
+    def __init__(
+        self,
+        per_item_pairs: Sequence[Sequence[Tuple[float, float]]],
+        domain_size: Optional[int] = None,
+    ):
+        pairs = [list(item_pairs) for item_pairs in per_item_pairs]
+        if domain_size is None:
+            domain_size = len(pairs)
+        if domain_size < len(pairs):
+            raise DomainError(
+                f"domain_size {domain_size} smaller than the {len(pairs)} supplied items"
+            )
+        if domain_size <= 0:
+            raise ModelValidationError("a value-pdf model needs a positive domain size")
+        while len(pairs) < domain_size:
+            pairs.append([])
+        self._pairs = pairs
+        self._domain_size = int(domain_size)
+        self._size = int(sum(max(len(p), 1) for p in pairs))
+        self._distributions = FrequencyDistributions.from_pairs(pairs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        mapping: Mapping[int, Sequence[Tuple[float, float]]],
+        domain_size: Optional[int] = None,
+    ) -> "ValuePdfModel":
+        """Build from ``{item: [(frequency, probability), ...]}``.
+
+        Items absent from the mapping are zero with certainty.
+        """
+        if not mapping and domain_size is None:
+            raise ModelValidationError("empty mapping requires an explicit domain_size")
+        max_item = max(mapping) if mapping else -1
+        if domain_size is None:
+            domain_size = max_item + 1
+        if max_item >= domain_size:
+            raise DomainError(
+                f"item {max_item} outside the ordered domain [0, {domain_size})"
+            )
+        pairs: List[Sequence[Tuple[float, float]]] = [[] for _ in range(domain_size)]
+        for item, item_pairs in mapping.items():
+            if item < 0:
+                raise DomainError(f"negative item {item}")
+            pairs[item] = list(item_pairs)
+        return cls(pairs, domain_size=domain_size)
+
+    @classmethod
+    def from_frequency_distributions(
+        cls, distributions: FrequencyDistributions
+    ) -> "ValuePdfModel":
+        """Re-encode dense per-item marginals as a value-pdf model."""
+        values = distributions.values
+        pairs: List[List[Tuple[float, float]]] = []
+        for row in distributions.probabilities:
+            item_pairs = [
+                (float(v), float(p)) for v, p in zip(values, row) if p > 0.0 and v != 0.0
+            ]
+            zero_mass = float(row[distributions.grid.index_of(0.0)])
+            if zero_mass > 0.0:
+                item_pairs.append((0.0, zero_mass))
+            pairs.append(item_pairs)
+        return cls(pairs, domain_size=distributions.domain_size)
+
+    @classmethod
+    def deterministic(cls, frequencies: Sequence[float]) -> "ValuePdfModel":
+        """Model describing a certain (deterministic) frequency vector."""
+        return cls([[(float(f), 1.0)] for f in frequencies])
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def domain_size(self) -> int:
+        return self._domain_size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def per_item_pairs(self) -> List[List[Tuple[float, float]]]:
+        """The raw per-item ``(frequency, probability)`` lists."""
+        return [list(p) for p in self._pairs]
+
+    # ------------------------------------------------------------------
+    # Marginals
+    # ------------------------------------------------------------------
+    def to_frequency_distributions(self) -> FrequencyDistributions:
+        return self._distributions
+
+    # ------------------------------------------------------------------
+    # Possible worlds
+    # ------------------------------------------------------------------
+    def _item_outcomes(self) -> List[List[Tuple[float, float]]]:
+        """Per-item complete outcome lists ``(value, probability)`` summing to 1."""
+        outcomes: List[List[Tuple[float, float]]] = []
+        values = self._distributions.values
+        for row in self._distributions.probabilities:
+            item_outcomes = [
+                (float(v), float(p)) for v, p in zip(values, row) if p > 0.0
+            ]
+            outcomes.append(item_outcomes)
+        return outcomes
+
+    def world_count(self) -> int:
+        count = 1
+        for item_outcomes in self._item_outcomes():
+            count *= max(len(item_outcomes), 1)
+        return count
+
+    def iter_worlds(self) -> Iterator[PossibleWorld]:
+        import itertools
+
+        outcome_sets = self._item_outcomes()
+        for combination in itertools.product(*outcome_sets):
+            frequencies = np.array([value for value, _ in combination], dtype=float)
+            probability = math.prod(prob for _, prob in combination)
+            if probability > 0.0:
+                yield PossibleWorld(frequencies=frequencies, probability=probability)
+
+    def sample_world(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = self._normalise_rng(rng)
+        values = self._distributions.values
+        probs = self._distributions.probabilities
+        cdf = np.cumsum(probs, axis=1)
+        draws = rng.random(self._domain_size)
+        indices = (draws[:, None] > cdf).sum(axis=1)
+        indices = np.minimum(indices, len(values) - 1)
+        return values[indices].astype(float)
+
+    def __repr__(self) -> str:
+        return f"ValuePdfModel(n={self.domain_size}, m={self.size})"

@@ -1,0 +1,129 @@
+"""Value grids: the ordered set ``V`` of frequencies a probabilistic item can take.
+
+The paper's algorithms repeatedly index into "the set of all values of
+frequencies used", called ``V`` (Definition 3 and Sections 3.3-3.6).  A
+:class:`ValueGrid` is a small immutable wrapper around a sorted, de-duplicated
+NumPy array of those frequency values.  The zero frequency is always a member
+because every model implicitly allows an item to be absent from a possible
+world.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelValidationError
+
+__all__ = ["ValueGrid"]
+
+# Tolerance used when matching a frequency value against grid entries.
+_MATCH_TOLERANCE = 1e-9
+
+
+class ValueGrid:
+    """A sorted, immutable grid of candidate frequency values.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of frequency values.  Duplicates are removed, the values
+        are sorted increasingly and ``0.0`` is inserted if absent.
+
+    Notes
+    -----
+    The grid corresponds to the set ``V`` in the paper.  Its size ``|V|`` is
+    bounded by the number of pairs in the input (``|V| <= m``), which keeps
+    the prefix-array precomputations of Sections 3.3-3.6 polynomial.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float]):
+        array = np.asarray(list(values), dtype=float)
+        if array.ndim not in (0, 1):
+            raise ModelValidationError("value grid must be one-dimensional")
+        array = np.atleast_1d(array)
+        if array.size and not np.all(np.isfinite(array)):
+            raise ModelValidationError("frequency values must be finite")
+        if array.size and np.any(array < 0):
+            raise ModelValidationError("frequency values must be non-negative")
+        with_zero = np.concatenate([array, [0.0]])
+        self._values = np.unique(with_zero)
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted grid as a read-only :class:`numpy.ndarray`."""
+        return self._values
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __contains__(self, value: float) -> bool:
+        return self.find(float(value)) is not None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueGrid):
+            return NotImplemented
+        return self._values.shape == other._values.shape and bool(
+            np.allclose(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - grids are rarely hashed
+        return hash(tuple(np.round(self._values, 12)))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{v:g}" for v in self._values[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"ValueGrid([{preview}{suffix}], size={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def find(self, value: float) -> int | None:
+        """Return the index of ``value`` in the grid, or ``None`` if absent.
+
+        Matching uses a small absolute tolerance so that values recovered
+        from floating-point arithmetic still hit their grid slot.
+        """
+        idx = int(np.searchsorted(self._values, value))
+        for candidate in (idx - 1, idx, idx + 1):
+            if 0 <= candidate < len(self) and abs(self._values[candidate] - value) <= _MATCH_TOLERANCE:
+                return candidate
+        return None
+
+    def index_of(self, value: float) -> int:
+        """Return the index of ``value``; raise if it is not on the grid."""
+        idx = self.find(value)
+        if idx is None:
+            raise ModelValidationError(f"frequency value {value!r} is not on the value grid")
+        return idx
+
+    def indices_of(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`index_of` for a sequence of values."""
+        return np.array([self.index_of(float(v)) for v in values], dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(cls, max_count: int) -> "ValueGrid":
+        """Grid of integer frequencies ``0..max_count`` (basic / tuple models)."""
+        if max_count < 0:
+            raise ModelValidationError("max_count must be non-negative")
+        return cls(np.arange(max_count + 1, dtype=float))
+
+    def union(self, other: "ValueGrid") -> "ValueGrid":
+        """Return the grid containing the values of both operands."""
+        return ValueGrid(np.concatenate([self._values, other._values]))

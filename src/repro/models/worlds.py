@@ -1,0 +1,58 @@
+"""Possible worlds: grounded deterministic instances of a probabilistic relation.
+
+A probabilistic database is a concise encoding of a distribution over
+exponentially many deterministic relations ("possible worlds").  This module
+provides the small value object used to represent one world together with
+helpers for aggregating collections of worlds.  The heavy lifting (how worlds
+are generated) lives with each concrete model class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["PossibleWorld", "merge_worlds", "worlds_expectation", "worlds_total_probability"]
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One grounded instance of the data: a frequency vector and its probability."""
+
+    frequencies: np.ndarray
+    probability: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "frequencies", np.asarray(self.frequencies, dtype=float))
+
+    @property
+    def key(self) -> Tuple[float, ...]:
+        """Hashable identity of the world (its frequency vector)."""
+        return tuple(float(v) for v in self.frequencies)
+
+
+def merge_worlds(worlds: Iterable[PossibleWorld]) -> Dict[Tuple[float, ...], float]:
+    """Aggregate worlds that share the same frequency vector.
+
+    The paper notes that distinct derivations yielding indistinguishable
+    worlds are treated as the same world; this helper performs exactly that
+    aggregation and returns ``{frequency tuple: total probability}``.
+    """
+    merged: Dict[Tuple[float, ...], float] = {}
+    for world in worlds:
+        merged[world.key] = merged.get(world.key, 0.0) + world.probability
+    return merged
+
+
+def worlds_total_probability(worlds: Iterable[PossibleWorld]) -> float:
+    """Sum of world probabilities (should be 1 for a complete enumeration)."""
+    return float(sum(world.probability for world in worlds))
+
+
+def worlds_expectation(
+    worlds: Iterable[PossibleWorld], function: Callable[[np.ndarray], float]
+) -> float:
+    """``E_W[f]`` over an explicit collection of worlds (Definition 4)."""
+    return float(sum(world.probability * float(function(world.frequencies)) for world in worlds))

@@ -1,0 +1,58 @@
+"""Wavelet synopses on probabilistic data (Section 4 of the paper).
+
+Contents:
+
+* :mod:`repro.wavelets.haar` — the deterministic Haar DWT substrate
+  (transform, inverse, error-tree geometry, normalisation);
+* :mod:`repro.wavelets.coefficients` — expected Haar coefficients and their
+  variances under the probabilistic models;
+* :mod:`repro.wavelets.sse` — the ``O(n)`` expected-SSE-optimal thresholding
+  (Theorem 7);
+* :mod:`repro.wavelets.nonsse` — the restricted coefficient-tree dynamic
+  program for non-SSE metrics (Theorem 8);
+* :mod:`repro.wavelets.baselines` — the sampled-world baseline of Figure 4.
+"""
+
+from .baselines import expectation_wavelet, sampled_world_wavelet
+from .coefficients import (
+    coefficient_second_moments,
+    coefficient_variances,
+    expected_coefficients,
+)
+from .haar import (
+    coefficient_level,
+    coefficient_sign,
+    coefficient_support,
+    haar_transform,
+    inverse_haar_transform,
+    leaf_ancestors,
+    next_power_of_two,
+    normalisation_factors,
+    pad_to_power_of_two,
+    reconstruct_leaf,
+)
+from .nonsse import RestrictedWaveletDP, restricted_wavelet_synopsis
+from .sse import expected_sse_of_selection, sse_optimal_wavelet, top_coefficient_indices
+
+__all__ = [
+    "haar_transform",
+    "inverse_haar_transform",
+    "pad_to_power_of_two",
+    "next_power_of_two",
+    "normalisation_factors",
+    "coefficient_level",
+    "coefficient_support",
+    "coefficient_sign",
+    "leaf_ancestors",
+    "reconstruct_leaf",
+    "expected_coefficients",
+    "coefficient_variances",
+    "coefficient_second_moments",
+    "sse_optimal_wavelet",
+    "expected_sse_of_selection",
+    "top_coefficient_indices",
+    "restricted_wavelet_synopsis",
+    "RestrictedWaveletDP",
+    "sampled_world_wavelet",
+    "expectation_wavelet",
+]

@@ -1,0 +1,127 @@
+"""Distributions of Haar coefficients induced by probabilistic data (Section 4.1).
+
+Any probabilistic model over frequencies ``g_i`` induces, world by world, a
+distribution over Haar coefficients ``c_i``.  Because the transform is a
+linear operator ``H``, the *expected* coefficients are simply the transform
+of the expected frequencies:
+
+    mu_{c_i} = E_W[H_i(A)] = H_i(E_W[A]),
+
+which is the key observation behind the paper's ``O(n)`` SSE-optimal
+thresholding.  This module computes those expected coefficients and, as
+supporting analysis, the per-coefficient variances:
+
+* under the value-pdf model items are independent, so
+  ``Var[c_i] = sum_k H_{ik}^2 Var[g_k]``;
+* under the basic / tuple-pdf models tuples are independent (but the items
+  within a tuple are exclusive), so the variance sums per-tuple contributions
+  ``E_j[H_i(t_j)^2] - E_j[H_i(t_j)]^2``.
+
+Both satisfy ``sum_i Var[c_i] = sum_k Var[g_k]`` by orthonormality, which the
+test-suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..models.base import ProbabilisticModel
+from ..models.frequency import FrequencyDistributions
+from ..models.tuple_pdf import TuplePdfModel
+from .haar import (
+    coefficient_sign,
+    coefficient_support,
+    haar_transform,
+    leaf_ancestors,
+    next_power_of_two,
+    normalisation_factors,
+    pad_to_power_of_two,
+)
+
+__all__ = ["expected_coefficients", "coefficient_variances", "coefficient_second_moments"]
+
+
+def _expected_frequencies(data: Union[ProbabilisticModel, FrequencyDistributions, np.ndarray]) -> np.ndarray:
+    if isinstance(data, ProbabilisticModel):
+        return data.expected_frequencies()
+    if isinstance(data, FrequencyDistributions):
+        return data.expectations()
+    return np.asarray(data, dtype=float)
+
+
+def expected_coefficients(
+    data: Union[ProbabilisticModel, FrequencyDistributions, np.ndarray],
+    *,
+    normalised: bool = True,
+) -> np.ndarray:
+    """Expected (normalised) Haar coefficients ``mu_{c_i}`` of the data.
+
+    Accepts a probabilistic model, precomputed per-item marginals, or a plain
+    frequency vector (the deterministic case).
+    """
+    return haar_transform(_expected_frequencies(data), normalised=normalised)
+
+
+def _variances_independent(distributions: FrequencyDistributions) -> np.ndarray:
+    """Coefficient variances assuming independent per-item frequencies."""
+    item_variances = pad_to_power_of_two(distributions.variances())
+    length = item_variances.size
+    factors = normalisation_factors(length)
+    variances = np.zeros(length, dtype=float)
+    for index in range(length):
+        start, end = coefficient_support(index, length)
+        # H_{ik} = +-1 / factor inside the support, 0 outside.
+        variances[index] = item_variances[start : end + 1].sum() / (factors[index] ** 2)
+    return variances
+
+
+def _variances_tuple_model(model: TuplePdfModel) -> np.ndarray:
+    """Exact coefficient variances for the basic / tuple-pdf models.
+
+    Each tuple contributes independently; within a tuple the alternatives are
+    mutually exclusive, so the tuple's contribution to coefficient ``i`` is a
+    discrete random variable over the (signed, scaled) basis weights of its
+    alternatives.
+    """
+    length = next_power_of_two(model.domain_size)
+    factors = normalisation_factors(length)
+    variances = np.zeros(length, dtype=float)
+    for t in model.tuples:
+        # Aggregate E[X] and E[X^2] of this tuple's contribution per coefficient.
+        first_moment: dict[int, float] = {}
+        second_moment: dict[int, float] = {}
+        for item, prob in zip(t.items.tolist(), t.probabilities.tolist()):
+            if prob <= 0.0:
+                continue
+            for index in leaf_ancestors(item, length):
+                weight = coefficient_sign(index, item, length) / factors[index]
+                first_moment[index] = first_moment.get(index, 0.0) + prob * weight
+                second_moment[index] = second_moment.get(index, 0.0) + prob * weight * weight
+        for index, ex in first_moment.items():
+            variances[index] += second_moment[index] - ex * ex
+    return np.maximum(variances, 0.0)
+
+
+def coefficient_variances(
+    data: Union[ProbabilisticModel, FrequencyDistributions],
+) -> np.ndarray:
+    """``Var[c_i]`` of every normalised Haar coefficient.
+
+    Uses the exact tuple-aware computation for basic / tuple-pdf models and
+    the independent-items formula otherwise.
+    """
+    if isinstance(data, TuplePdfModel):
+        return _variances_tuple_model(data)
+    if isinstance(data, ProbabilisticModel):
+        return _variances_independent(data.to_frequency_distributions())
+    return _variances_independent(data)
+
+
+def coefficient_second_moments(
+    data: Union[ProbabilisticModel, FrequencyDistributions],
+) -> np.ndarray:
+    """``E[c_i^2] = Var[c_i] + mu_{c_i}^2`` of every normalised Haar coefficient."""
+    mu = expected_coefficients(data)
+    return coefficient_variances(data) + mu ** 2

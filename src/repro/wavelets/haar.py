@@ -1,0 +1,194 @@
+"""Haar discrete wavelet transform substrate (Section 2.2 of the paper).
+
+The Haar DWT of a length-``N`` (``N`` a power of two) frequency vector
+consists of the overall average ``c_0`` followed by ``N - 1`` detail
+coefficients obtained by recursive pairwise averaging and differencing.  In
+the *error tree* view (Figure 1 of the paper), coefficient ``c_1`` is the
+root detail, coefficient ``c_i`` (``1 <= i < N/2``) has children ``c_{2i}``
+and ``c_{2i+1}``, and the coefficients at indices ``N/2 <= i < N`` sit just
+above pairs of data leaves.
+
+Coefficients are *normalised* by ``sqrt(support size)`` to make the basis
+orthonormal, so the sum of squared (normalised) coefficients equals the sum
+of squared data values (Parseval) — the property that makes greedy top-``B``
+selection SSE-optimal.
+
+All functions here are deterministic array utilities; everything
+probabilistic lives in the sibling modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+
+__all__ = [
+    "next_power_of_two",
+    "pad_to_power_of_two",
+    "haar_transform",
+    "inverse_haar_transform",
+    "coefficient_level",
+    "coefficient_support",
+    "coefficient_sign",
+    "leaf_ancestors",
+    "normalisation_factors",
+    "reconstruct_leaf",
+]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is at least ``n`` (and at least 1)."""
+    if n <= 1:
+        return 1
+    length = 1
+    while length < n:
+        length *= 2
+    return length
+
+
+def pad_to_power_of_two(data: np.ndarray) -> np.ndarray:
+    """Zero-pad a 1-D array to the next power-of-two length."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 1:
+        raise SynopsisError("the Haar transform operates on 1-D arrays")
+    length = next_power_of_two(data.size)
+    if length == data.size:
+        return data.copy()
+    padded = np.zeros(length, dtype=float)
+    padded[: data.size] = data
+    return padded
+
+
+def normalisation_factors(length: int) -> np.ndarray:
+    """Per-coefficient factors turning unnormalised into orthonormal coefficients.
+
+    The factor of a coefficient is ``sqrt(support size)``: ``sqrt(N)`` for the
+    overall average and ``sqrt(N / 2^level)`` for a detail coefficient at
+    resolution ``level``.
+    """
+    if length < 1 or (length & (length - 1)) != 0:
+        raise SynopsisError("the transform length must be a power of two")
+    factors = np.empty(length, dtype=float)
+    factors[0] = np.sqrt(length)
+    index = 1
+    support = length
+    while index < length:
+        factors[index : 2 * index] = np.sqrt(support)
+        index *= 2
+        support //= 2
+    return factors
+
+
+def haar_transform(data: np.ndarray, *, normalised: bool = True) -> np.ndarray:
+    """Haar DWT of ``data`` (zero-padded to a power of two).
+
+    Returns an array of the padded length whose entry 0 is the overall
+    average and whose entries ``[2^l, 2^{l+1})`` are the detail coefficients
+    of resolution level ``l`` (coarsest first), optionally normalised to the
+    orthonormal basis.
+    """
+    padded = pad_to_power_of_two(data)
+    length = padded.size
+    coefficients = np.zeros(length, dtype=float)
+    current = padded
+    while current.size > 1:
+        averages = 0.5 * (current[0::2] + current[1::2])
+        differences = 0.5 * (current[0::2] - current[1::2])
+        coefficients[averages.size : 2 * averages.size] = differences
+        current = averages
+    coefficients[0] = current[0]
+    if normalised:
+        coefficients *= normalisation_factors(length)
+    return coefficients
+
+
+def inverse_haar_transform(coefficients: np.ndarray, *, normalised: bool = True) -> np.ndarray:
+    """Inverse Haar DWT; exact inverse of :func:`haar_transform`."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    length = coefficients.size
+    if length < 1 or (length & (length - 1)) != 0:
+        raise SynopsisError("the coefficient vector length must be a power of two")
+    work = coefficients.copy()
+    if normalised:
+        work = work / normalisation_factors(length)
+    current = np.array([work[0]])
+    size = 1
+    while size < length:
+        differences = work[size : 2 * size]
+        expanded = np.empty(2 * size, dtype=float)
+        expanded[0::2] = current + differences
+        expanded[1::2] = current - differences
+        current = expanded
+        size *= 2
+    return current
+
+
+# ----------------------------------------------------------------------
+# Error-tree geometry
+# ----------------------------------------------------------------------
+def coefficient_level(index: int) -> int:
+    """Resolution level of a coefficient (0 for the root detail; the overall
+    average ``c_0`` is assigned level -1)."""
+    if index < 0:
+        raise SynopsisError("coefficient indices are non-negative")
+    if index == 0:
+        return -1
+    return int(np.floor(np.log2(index)))
+
+
+def coefficient_support(index: int, length: int) -> Tuple[int, int]:
+    """Inclusive range of data positions a coefficient influences."""
+    if length < 1 or (length & (length - 1)) != 0:
+        raise SynopsisError("the transform length must be a power of two")
+    if not 0 <= index < length:
+        raise SynopsisError(f"coefficient index {index} outside [0, {length})")
+    if index == 0:
+        return 0, length - 1
+    level = coefficient_level(index)
+    support = length >> level
+    position = index - (1 << level)
+    start = position * support
+    return start, start + support - 1
+
+
+def coefficient_sign(index: int, leaf: int, length: int) -> int:
+    """Sign (+1 / -1) with which a detail coefficient enters a leaf's reconstruction.
+
+    Returns 0 if the leaf lies outside the coefficient's support; the overall
+    average (index 0) always contributes with sign +1.
+    """
+    start, end = coefficient_support(index, length)
+    if not start <= leaf <= end:
+        return 0
+    if index == 0:
+        return 1
+    midpoint = (start + end + 1) // 2
+    return 1 if leaf < midpoint else -1
+
+
+def leaf_ancestors(leaf: int, length: int) -> List[int]:
+    """Coefficient indices contributing to a leaf, ordered root-average first."""
+    if not 0 <= leaf < length:
+        raise SynopsisError(f"leaf {leaf} outside [0, {length})")
+    ancestors = [0]
+    node = (length + leaf) // 2  # the detail coefficient just above the leaf pair
+    chain: List[int] = []
+    while node >= 1:
+        chain.append(node)
+        node //= 2
+    ancestors.extend(reversed(chain))
+    return ancestors
+
+
+def reconstruct_leaf(coefficients: Dict[int, float], leaf: int, length: int, *, normalised: bool = True) -> float:
+    """Reconstruct one data value from a sparse coefficient dictionary."""
+    factors = normalisation_factors(length) if normalised else np.ones(length)
+    total = 0.0
+    for index in leaf_ancestors(leaf, length):
+        if index in coefficients:
+            sign = coefficient_sign(index, leaf, length)
+            total += sign * coefficients[index] / factors[index]
+    return float(total)

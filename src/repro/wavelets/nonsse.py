@@ -1,0 +1,206 @@
+"""Restricted wavelet thresholding for non-SSE error metrics (Section 4.2).
+
+For error metrics other than SSE, greedy coefficient selection is no longer
+optimal.  The paper extends the deterministic coefficient-tree dynamic
+program to probabilistic data: the DP walks the Haar error tree deciding, for
+every coefficient and every split of the remaining budget, whether to retain
+the coefficient, and the *expected* point errors are evaluated only at the
+leaves using the per-item frequency pdfs.
+
+This module implements the **restricted** version (Theorem 8): retained
+coefficients keep their expected values ``mu_{c_i}`` (the Haar coefficients
+of the expected frequencies).  The *unrestricted* version — optimising over
+the retained values as well — is explicitly deferred by the paper to its full
+version and is out of scope here.
+
+The DP state is ``(node, budget, incoming reconstruction value)``.  The
+incoming value is determined by which proper ancestors were retained, so the
+number of states grows with the depth of the tree; the implementation
+memoises on the rounded incoming value and is intended for moderate domain
+sizes (it matches the paper's ``O(n^2)``-style behaviour, not the fast
+approximation schemes of Guha and Harb).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from ..core.wavelet import WaveletSynopsis
+from ..exceptions import SynopsisError
+from ..models.base import ProbabilisticModel
+from ..models.frequency import FrequencyDistributions
+from .coefficients import expected_coefficients
+from .haar import next_power_of_two, normalisation_factors
+
+__all__ = ["restricted_wavelet_synopsis", "RestrictedWaveletDP"]
+
+
+class RestrictedWaveletDP:
+    """Dynamic program over the Haar error tree with expected leaf errors.
+
+    Parameters
+    ----------
+    distributions:
+        Per-item marginal frequency pdfs of the probabilistic input.
+    metric:
+        Any cumulative or maximum error metric.  Cumulative metrics combine
+        subtree errors by summation, maximum metrics by ``max`` — the ``h``
+        combiner of the paper's recurrences.
+    """
+
+    def __init__(
+        self,
+        distributions: FrequencyDistributions,
+        metric: Union[str, ErrorMetric, MetricSpec],
+        *,
+        sanity: float = DEFAULT_SANITY,
+        workload=None,
+    ) -> None:
+        from ..core.workload import QueryWorkload
+
+        self._distributions = distributions
+        self._spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
+        self._n = distributions.domain_size
+        self._length = next_power_of_two(self._n)
+        self._factors = normalisation_factors(self._length)
+        self._mu = expected_coefficients(distributions)
+        self._values = distributions.values
+        self._probs = distributions.probabilities
+        coerced = QueryWorkload.coerce(workload, self._n)
+        if coerced is None:
+            # Uniform workload: real items weigh one; so do the padding leaves,
+            # matching the unweighted padded-domain objective.
+            self._leaf_weights = np.ones(self._length)
+        else:
+            # Explicit workload: padding leaves are not part of the queried
+            # domain and receive zero weight.
+            self._leaf_weights = np.zeros(self._length)
+            self._leaf_weights[: self._n] = coerced.weights
+        self._cache: Dict[Tuple[int, int, float], Tuple[float, frozenset]] = {}
+
+    # ------------------------------------------------------------------
+    # Leaf errors
+    # ------------------------------------------------------------------
+    def _leaf_error(self, leaf: int, incoming: float) -> float:
+        """Expected (workload-weighted) point error of approximating a leaf by ``incoming``."""
+        weight = float(self._leaf_weights[leaf])
+        if weight == 0.0:
+            return 0.0
+        if leaf >= self._n:
+            # Padding leaves are deterministically zero.
+            actual = np.array([0.0])
+            probs = np.array([1.0])
+        else:
+            actual = self._values
+            probs = self._probs[leaf]
+        return weight * float(probs @ np.asarray(self._spec.point_error(actual, incoming)))
+
+    def _combine(self, left: float, right: float) -> float:
+        return left + right if self._spec.cumulative else max(left, right)
+
+    # ------------------------------------------------------------------
+    # Recursion over the error tree
+    # ------------------------------------------------------------------
+    def _solve(self, node: int, budget: int, incoming: float) -> Tuple[float, frozenset]:
+        """Best error and retained-set for the subtree rooted at detail ``node``."""
+        key = (node, budget, round(incoming, 10))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        length = self._length
+        if node >= length:
+            # ``node`` is a (virtual) leaf position length + leaf index.
+            result = (self._leaf_error(node - length, incoming), frozenset())
+            self._cache[key] = result
+            return result
+
+        contribution = self._mu[node] / self._factors[node]
+        left_child = 2 * node
+        right_child = 2 * node + 1
+
+        best_error = np.inf
+        best_set: frozenset = frozenset()
+
+        # Option 1: do not retain this coefficient.
+        for left_budget in range(budget + 1):
+            left_error, left_set = self._solve(left_child, left_budget, incoming)
+            right_error, right_set = self._solve(right_child, budget - left_budget, incoming)
+            error = self._combine(left_error, right_error)
+            if error < best_error - 1e-15:
+                best_error = error
+                best_set = left_set | right_set
+
+        # Option 2: retain this coefficient (needs one unit of budget).
+        if budget >= 1:
+            for left_budget in range(budget):
+                left_error, left_set = self._solve(
+                    left_child, left_budget, incoming + contribution
+                )
+                right_error, right_set = self._solve(
+                    right_child, budget - 1 - left_budget, incoming - contribution
+                )
+                error = self._combine(left_error, right_error)
+                if error < best_error - 1e-15:
+                    best_error = error
+                    best_set = left_set | right_set | {node}
+
+        result = (float(best_error), best_set)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def solve(self, budget: int) -> Tuple[float, WaveletSynopsis]:
+        """Optimal restricted synopsis and its expected error for the given budget."""
+        if budget < 0:
+            raise SynopsisError("the coefficient budget must be non-negative")
+        budget = min(budget, self._length)
+        self._cache.clear()
+
+        root_contribution = self._mu[0] / self._factors[0]
+        best_error = np.inf
+        best_set: frozenset = frozenset()
+        keep_root_options = (False, True) if budget >= 1 else (False,)
+        for keep_root in keep_root_options:
+            incoming = root_contribution if keep_root else 0.0
+            remaining = budget - 1 if keep_root else budget
+            if self._length == 1:
+                error = self._leaf_error(0, incoming)
+                retained: frozenset = frozenset({0}) if keep_root else frozenset()
+            else:
+                error, retained = self._solve(1, remaining, incoming)
+                if keep_root:
+                    retained = retained | {0}
+            if error < best_error - 1e-15:
+                best_error = error
+                best_set = retained
+        coefficients = {int(index): float(self._mu[index]) for index in sorted(best_set)}
+        return float(best_error), WaveletSynopsis(coefficients, domain_size=self._n)
+
+
+def restricted_wavelet_synopsis(
+    data: Union[ProbabilisticModel, FrequencyDistributions],
+    coefficients: int,
+    metric: Union[str, ErrorMetric, MetricSpec],
+    *,
+    sanity: float = DEFAULT_SANITY,
+    workload=None,
+) -> WaveletSynopsis:
+    """Optimal *restricted* wavelet synopsis for a non-SSE (or workload-weighted) metric.
+
+    Coefficient values are fixed to the Haar coefficients of the expected
+    frequencies; the DP chooses which ``coefficients`` of them to retain so
+    that the expected (optionally workload-weighted) error metric is minimised.
+    """
+    distributions = (
+        data.to_frequency_distributions() if isinstance(data, ProbabilisticModel) else data
+    )
+    dp = RestrictedWaveletDP(distributions, metric, sanity=sanity, workload=workload)
+    _, synopsis = dp.solve(coefficients)
+    return synopsis

@@ -1,0 +1,104 @@
+"""SSE-optimal wavelet synopses on probabilistic data (Section 4.1, Theorem 7).
+
+By Parseval and linearity of expectation, the expected SSE of a synopsis that
+retains the coefficient set ``I`` with values ``ĉ_i`` is
+
+    E_W[SSE] = sum_{i in I} E[(c_i - ĉ_i)^2] + sum_{i not in I} E[c_i^2].
+
+For a retained coefficient the optimal value is its expectation ``mu_{c_i}``
+(leaving ``Var[c_i]``), so the benefit of retaining coefficient ``i`` is
+exactly ``mu_{c_i}^2`` — independent of all other choices.  The optimal
+strategy is therefore to compute the Haar transform of the *expected*
+frequencies and keep the ``B`` coefficients of largest absolute (normalised)
+expected value, a direct generalisation of deterministic SSE thresholding.
+The whole construction is ``O(n)`` plus the cost of selecting the top ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..core.wavelet import WaveletSynopsis
+from ..exceptions import SynopsisError
+from ..models.base import ProbabilisticModel
+from ..models.frequency import FrequencyDistributions
+from .coefficients import coefficient_variances, expected_coefficients
+
+__all__ = ["sse_optimal_wavelet", "expected_sse_of_selection", "top_coefficient_indices"]
+
+
+def top_coefficient_indices(coefficients: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` coefficients of largest absolute value.
+
+    Ties are broken towards lower indices (coarser coefficients) so the
+    selection is deterministic.
+    """
+    if count < 0:
+        raise SynopsisError("the coefficient budget must be non-negative")
+    count = min(count, coefficients.size)
+    if count == 0:
+        return np.array([], dtype=np.intp)
+    order = np.lexsort((np.arange(coefficients.size), -np.abs(coefficients)))
+    return np.sort(order[:count])
+
+
+def sse_optimal_wavelet(
+    data: Union[ProbabilisticModel, FrequencyDistributions, np.ndarray],
+    coefficients: int,
+    *,
+    domain_size: int | None = None,
+) -> WaveletSynopsis:
+    """The expected-SSE-optimal ``coefficients``-term wavelet synopsis.
+
+    Accepts a probabilistic model, per-item marginals, or a plain
+    (deterministic) frequency vector; ``domain_size`` defaults to the data's
+    own domain size.
+    """
+    if coefficients < 0:
+        raise SynopsisError("the coefficient budget must be non-negative")
+    if isinstance(data, ProbabilisticModel):
+        n = data.domain_size
+    elif isinstance(data, FrequencyDistributions):
+        n = data.domain_size
+    else:
+        n = int(np.asarray(data).size)
+    if domain_size is not None:
+        if domain_size < n:
+            raise SynopsisError("domain_size cannot be smaller than the data's domain")
+        n = domain_size
+    mu = expected_coefficients(data)
+    keep = top_coefficient_indices(mu, coefficients)
+    retained = {int(index): float(mu[index]) for index in keep}
+    return WaveletSynopsis(retained, domain_size=n)
+
+
+def expected_sse_of_selection(
+    data: Union[ProbabilisticModel, FrequencyDistributions],
+    synopsis: WaveletSynopsis,
+) -> float:
+    """Exact expected SSE of a wavelet synopsis, computed in the coefficient domain.
+
+    Computed as ``sum_{i in I} Var[c_i] + sum_{i not in I} E[c_i^2]`` (plus the
+    penalty for any retained value differing from ``mu_{c_i}``).
+
+    Note that, like the thresholding analysis itself, this works over the
+    *padded* power-of-two domain: when ``n`` is not a power of two the
+    zero-padding positions count as real items with certain zero frequency,
+    so the value can exceed the item-domain evaluation of
+    :func:`repro.evaluation.expected_error`, which stops at ``n``.  The two
+    agree exactly whenever ``n`` is a power of two (the paper's implicit
+    setting), which the test-suite verifies.
+    """
+    mu = expected_coefficients(data)
+    variances = coefficient_variances(data)
+    retained = synopsis.coefficients
+    total = 0.0
+    for index in range(mu.size):
+        if index in retained:
+            deviation = retained[index] - mu[index]
+            total += variances[index] + deviation * deviation
+        else:
+            total += variances[index] + mu[index] ** 2
+    return float(total)

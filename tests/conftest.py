@@ -1,0 +1,90 @@
+"""Shared fixtures: the paper's Example 1 inputs and small random models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BasicModel, TuplePdfModel, ValuePdfModel
+
+
+@pytest.fixture
+def example1_basic() -> BasicModel:
+    """The basic-model input of Example 1: <1, 1/2>, <2, 1/3>, <2, 1/4>, <3, 1/2>.
+
+    Items are 0-indexed here (paper uses 1..3), so the domain is {0, 1, 2}.
+    """
+    return BasicModel([(0, 0.5), (1, 1.0 / 3.0), (1, 0.25), (2, 0.5)], domain_size=3)
+
+
+@pytest.fixture
+def example1_tuple() -> TuplePdfModel:
+    """The tuple-pdf input of Example 1: <(1,1/2),(2,1/3)>, <(2,1/4),(3,1/2)>."""
+    return TuplePdfModel(
+        [[(0, 0.5), (1, 1.0 / 3.0)], [(1, 0.25), (2, 0.5)]], domain_size=3
+    )
+
+
+@pytest.fixture
+def example1_value() -> ValuePdfModel:
+    """The value-pdf input of Example 1: item pdfs over frequencies {0, 1, 2}."""
+    return ValuePdfModel(
+        [
+            [(1.0, 0.5)],
+            [(1.0, 1.0 / 3.0), (2.0, 0.25)],
+            [(1.0, 0.5)],
+        ]
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260613)
+
+
+def small_value_pdf(seed: int = 0, domain_size: int = 8, max_frequency: int = 4) -> ValuePdfModel:
+    """A small random value-pdf model (deterministic given the seed)."""
+    generator = np.random.default_rng(seed)
+    per_item = []
+    for _ in range(domain_size):
+        count = int(generator.integers(1, 3))
+        values = generator.integers(0, max_frequency + 1, size=count)
+        raw = generator.random(count)
+        probs = raw / raw.sum() * generator.uniform(0.5, 1.0)
+        per_item.append([(float(v), float(p)) for v, p in zip(values, probs)])
+    return ValuePdfModel(per_item)
+
+
+def small_tuple_pdf(seed: int = 0, domain_size: int = 6, tuple_count: int = 5) -> TuplePdfModel:
+    """A small random tuple-pdf model with multi-item tuples (deterministic given the seed)."""
+    generator = np.random.default_rng(seed)
+    rows = []
+    for _ in range(tuple_count):
+        count = int(generator.integers(1, 4))
+        items = generator.choice(domain_size, size=count, replace=False)
+        raw = generator.dirichlet(np.ones(count)) * generator.uniform(0.5, 1.0)
+        rows.append([(int(i), float(p)) for i, p in zip(items, raw)])
+    return TuplePdfModel(rows, domain_size=domain_size)
+
+
+def small_basic(seed: int = 0, domain_size: int = 6, tuple_count: int = 8) -> BasicModel:
+    """A small random basic model (deterministic given the seed)."""
+    generator = np.random.default_rng(seed)
+    items = generator.integers(0, domain_size, size=tuple_count)
+    probs = generator.uniform(0.05, 1.0, size=tuple_count)
+    return BasicModel(zip(items.tolist(), probs.tolist()), domain_size=domain_size)
+
+
+@pytest.fixture
+def random_small_value_pdf() -> ValuePdfModel:
+    return small_value_pdf(seed=1)
+
+
+@pytest.fixture
+def random_small_tuple_pdf() -> TuplePdfModel:
+    return small_tuple_pdf(seed=2)
+
+
+@pytest.fixture
+def random_small_basic() -> BasicModel:
+    return small_basic(seed=3)

@@ -1,0 +1,146 @@
+"""Unit tests for the Histogram and WaveletSynopsis value objects."""
+
+import numpy as np
+import pytest
+
+from repro import Bucket, Histogram, SynopsisError, WaveletSynopsis
+from repro.wavelets.haar import haar_transform
+
+
+class TestBucket:
+    def test_width(self):
+        assert Bucket(2, 5, 1.0).width == 4
+
+    def test_covers(self):
+        bucket = Bucket(2, 5, 1.0)
+        assert bucket.covers(2) and bucket.covers(5)
+        assert not bucket.covers(6)
+
+    def test_invalid_span(self):
+        with pytest.raises(SynopsisError):
+            Bucket(3, 2, 1.0)
+        with pytest.raises(SynopsisError):
+            Bucket(-1, 2, 1.0)
+
+    def test_repr(self):
+        assert "rep=" in repr(Bucket(0, 1, 2.5))
+
+
+class TestHistogram:
+    def make(self):
+        return Histogram([Bucket(0, 1, 2.0), Bucket(2, 3, 5.0)], domain_size=4)
+
+    def test_partition_validation(self):
+        with pytest.raises(SynopsisError):
+            Histogram([Bucket(0, 1, 1.0), Bucket(3, 3, 1.0)], domain_size=4)  # gap
+        with pytest.raises(SynopsisError):
+            Histogram([Bucket(0, 1, 1.0)], domain_size=4)  # does not reach the end
+        with pytest.raises(SynopsisError):
+            Histogram([Bucket(1, 3, 1.0)], domain_size=4)  # does not start at 0
+        with pytest.raises(SynopsisError):
+            Histogram([], domain_size=4)
+
+    def test_estimates(self):
+        hist = self.make()
+        assert np.allclose(hist.estimates(), [2.0, 2.0, 5.0, 5.0])
+
+    def test_estimate_and_bucket_of(self):
+        hist = self.make()
+        assert hist.estimate(0) == 2.0
+        assert hist.estimate(3) == 5.0
+        assert hist.bucket_of(2).start == 2
+        with pytest.raises(SynopsisError):
+            hist.estimate(4)
+
+    def test_range_sum_estimate(self):
+        hist = self.make()
+        assert hist.range_sum_estimate(0, 3) == pytest.approx(14.0)
+        assert hist.range_sum_estimate(1, 2) == pytest.approx(7.0)
+        assert hist.range_sum_estimate(2, 1) == 0.0
+        with pytest.raises(SynopsisError):
+            hist.range_sum_estimate(0, 9)
+
+    def test_properties(self):
+        hist = self.make()
+        assert hist.bucket_count == 2 and len(hist) == 2
+        assert hist.boundaries == [(0, 1), (2, 3)]
+        assert np.allclose(hist.representatives, [2.0, 5.0])
+        assert list(iter(hist))[0].start == 0
+
+    def test_from_boundaries(self):
+        hist = Histogram.from_boundaries([(0, 0), (1, 2)], [1.0, 3.0], domain_size=3)
+        assert np.allclose(hist.estimates(), [1.0, 3.0, 3.0])
+        with pytest.raises(SynopsisError):
+            Histogram.from_boundaries([(0, 2)], [1.0, 2.0], domain_size=3)
+
+    def test_serialisation_round_trip(self):
+        hist = self.make()
+        assert Histogram.from_dict(hist.to_dict()) == hist
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        other = Histogram([Bucket(0, 3, 1.0)], domain_size=4)
+        assert self.make() != other
+        assert self.make().__eq__(42) is NotImplemented
+
+    def test_invalid_domain(self):
+        with pytest.raises(SynopsisError):
+            Histogram([Bucket(0, 0, 1.0)], domain_size=0)
+
+
+class TestWaveletSynopsis:
+    def test_transform_length_padding(self):
+        synopsis = WaveletSynopsis({0: 1.0}, domain_size=5)
+        assert synopsis.transform_length == 8
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(SynopsisError):
+            WaveletSynopsis({8: 1.0}, domain_size=5)
+        with pytest.raises(SynopsisError):
+            WaveletSynopsis({-1: 1.0}, domain_size=5)
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(SynopsisError):
+            WaveletSynopsis({}, domain_size=0)
+
+    def test_full_coefficient_set_reconstructs_data(self):
+        data = np.array([2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0])
+        coefficients = haar_transform(data, normalised=True)
+        synopsis = WaveletSynopsis(dict(enumerate(coefficients)), domain_size=8)
+        assert np.allclose(synopsis.estimates(), data)
+
+    def test_estimates_truncated_to_domain(self):
+        data = np.array([1.0, 2.0, 3.0])
+        coefficients = haar_transform(data, normalised=True)
+        synopsis = WaveletSynopsis(dict(enumerate(coefficients)), domain_size=3)
+        assert synopsis.estimates().size == 3
+        assert np.allclose(synopsis.estimates(), data)
+
+    def test_estimate_bounds_check(self):
+        synopsis = WaveletSynopsis({0: 1.0}, domain_size=4)
+        with pytest.raises(SynopsisError):
+            synopsis.estimate(4)
+
+    def test_term_count_and_indices(self):
+        synopsis = WaveletSynopsis({3: 1.0, 1: -2.0}, domain_size=4)
+        assert synopsis.term_count == 2 and len(synopsis) == 2
+        assert synopsis.indices == (1, 3)
+
+    def test_coefficient_vector(self):
+        synopsis = WaveletSynopsis({1: 2.0}, domain_size=4)
+        assert np.allclose(synopsis.coefficient_vector(), [0.0, 2.0, 0.0, 0.0])
+
+    def test_serialisation_round_trip(self):
+        synopsis = WaveletSynopsis({0: 1.5, 2: -0.5}, domain_size=5)
+        assert WaveletSynopsis.from_dict(synopsis.to_dict()) == synopsis
+
+    def test_equality(self):
+        a = WaveletSynopsis({0: 1.0}, domain_size=4)
+        b = WaveletSynopsis({0: 1.0}, domain_size=4)
+        c = WaveletSynopsis({1: 1.0}, domain_size=4)
+        assert a == b and a != c
+        assert a.__eq__(7) is NotImplemented
+
+    def test_empty_synopsis_estimates_zero(self):
+        synopsis = WaveletSynopsis({}, domain_size=4)
+        assert np.allclose(synopsis.estimates(), 0.0)

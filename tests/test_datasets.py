@@ -1,0 +1,164 @@
+"""Tests for the dataset generators (paper-workload stand-ins and synthetic data)."""
+
+import numpy as np
+import pytest
+
+from repro import BasicModel, ModelValidationError, TuplePdfModel, ValuePdfModel
+from repro.datasets import (
+    clustered_value_pdf,
+    generate_movie_linkage,
+    generate_sensor_readings,
+    generate_tpch_lineitem,
+    random_basic_model,
+    random_tuple_pdf_model,
+    uniform_value_pdf,
+    zipf_frequencies,
+    zipf_value_pdf,
+)
+
+
+class TestZipfFrequencies:
+    def test_total_and_monotonicity(self):
+        freq = zipf_frequencies(100, skew=1.2, total=500.0)
+        assert freq.sum() == pytest.approx(500.0)
+        assert np.all(np.diff(freq) <= 1e-12)
+
+    def test_skew_zero_is_uniform(self):
+        freq = zipf_frequencies(10, skew=0.0, total=10.0)
+        assert np.allclose(freq, 1.0)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ModelValidationError):
+            zipf_frequencies(0)
+
+
+class TestMovieLinkage:
+    def test_model_type_and_domain(self):
+        model = generate_movie_linkage(64, seed=1)
+        assert isinstance(model, BasicModel)
+        assert model.domain_size == 64
+
+    def test_average_tuples_per_item(self):
+        model = generate_movie_linkage(128, tuples_per_item=4.6, seed=2)
+        assert model.tuple_count / model.domain_size == pytest.approx(4.6, rel=0.05)
+
+    def test_probabilities_are_valid(self):
+        model = generate_movie_linkage(64, seed=3)
+        probabilities = [p for _, p in model.pairs]
+        assert min(probabilities) > 0.0
+        assert max(probabilities) <= 1.0
+
+    def test_reproducible_with_seed(self):
+        a = generate_movie_linkage(32, seed=7)
+        b = generate_movie_linkage(32, seed=7)
+        assert a.pairs == b.pairs
+
+    def test_high_confidence_fraction_shifts_mass(self):
+        low = generate_movie_linkage(128, high_confidence_fraction=0.05, seed=4)
+        high = generate_movie_linkage(128, high_confidence_fraction=0.95, seed=4)
+        assert np.mean([p for _, p in high.pairs]) > np.mean([p for _, p in low.pairs])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelValidationError):
+            generate_movie_linkage(0)
+        with pytest.raises(ModelValidationError):
+            generate_movie_linkage(16, tuples_per_item=0.0)
+        with pytest.raises(ModelValidationError):
+            generate_movie_linkage(16, high_confidence_fraction=1.5)
+
+
+class TestTpchLineitem:
+    def test_model_type_and_sizes(self):
+        model = generate_tpch_lineitem(64, 200, seed=1)
+        assert isinstance(model, TuplePdfModel)
+        assert model.domain_size == 64
+        assert model.tuple_count == 200
+
+    def test_alternatives_are_uniform(self):
+        model = generate_tpch_lineitem(64, 100, certain_fraction=0.0, seed=2)
+        for t in model.tuples:
+            assert np.allclose(t.probabilities, t.probabilities[0])
+            assert t.probabilities.sum() == pytest.approx(1.0)
+
+    def test_certain_fraction_one_gives_deterministic_tuples(self):
+        model = generate_tpch_lineitem(32, 50, certain_fraction=1.0, seed=3)
+        assert all(len(t) == 1 for t in model.tuples)
+
+    def test_ambiguity_window_respected(self):
+        window = 4
+        model = generate_tpch_lineitem(128, 100, ambiguity_window=window, certain_fraction=0.0, seed=4)
+        for t in model.tuples:
+            assert t.items.max() - t.items.min() <= 2 * window
+
+    def test_reproducible_with_seed(self):
+        a = generate_tpch_lineitem(32, 40, seed=9)
+        b = generate_tpch_lineitem(32, 40, seed=9)
+        assert [t.alternatives for t in a.tuples] == [t.alternatives for t in b.tuples]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelValidationError):
+            generate_tpch_lineitem(0, 10)
+        with pytest.raises(ModelValidationError):
+            generate_tpch_lineitem(16, 10, max_alternatives=0)
+        with pytest.raises(ModelValidationError):
+            generate_tpch_lineitem(16, 10, certain_fraction=-0.1)
+
+
+class TestSensorReadings:
+    def test_model_type_and_domain(self):
+        model = generate_sensor_readings(32, seed=1)
+        assert isinstance(model, ValuePdfModel)
+        assert model.domain_size == 32
+
+    def test_readings_are_non_negative(self):
+        model = generate_sensor_readings(32, seed=2)
+        assert model.to_frequency_distributions().values.min() >= 0.0
+
+    def test_fractional_values_present(self):
+        model = generate_sensor_readings(32, seed=3)
+        values = model.to_frequency_distributions().values
+        assert np.any(values != np.round(values))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelValidationError):
+            generate_sensor_readings(0)
+        with pytest.raises(ModelValidationError):
+            generate_sensor_readings(8, reading_levels=0)
+
+
+class TestGenericSynthetic:
+    def test_uniform_value_pdf(self):
+        model = uniform_value_pdf(16, seed=1)
+        assert model.domain_size == 16
+
+    def test_zipf_value_pdf_expectations_are_skewed(self):
+        model = zipf_value_pdf(64, skew=1.5, seed=2)
+        expectations = model.expected_frequencies()
+        assert expectations.max() > 5 * np.median(expectations)
+
+    def test_clustered_value_pdf_has_level_structure(self):
+        model = clustered_value_pdf(40, clusters=4, uncertainty=0.05, seed=3)
+        expectations = model.expected_frequencies()
+        # Within a cluster the expected values are near-constant.
+        first_cluster = expectations[:10]
+        assert first_cluster.std() < 0.2 * (abs(first_cluster.mean()) + 1e-9)
+
+    def test_clustered_rejects_bad_clusters(self):
+        with pytest.raises(ModelValidationError):
+            clustered_value_pdf(10, clusters=0)
+
+    def test_random_basic_model(self):
+        model = random_basic_model(32, 100, seed=4)
+        assert isinstance(model, BasicModel)
+        assert model.tuple_count == 100
+
+    def test_random_tuple_pdf_model_window(self):
+        model = random_tuple_pdf_model(64, 50, window=5, seed=5)
+        for t in model.tuples:
+            assert t.items.max() - t.items.min() <= 10
+
+    def test_random_generators_reject_zero_tuples(self):
+        with pytest.raises(ModelValidationError):
+            random_basic_model(8, 0)
+        with pytest.raises(ModelValidationError):
+            random_tuple_pdf_model(8, 0)

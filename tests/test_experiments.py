@@ -1,0 +1,157 @@
+"""Tests for the experiment runners (scaled-down Figures 2, 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_movie_linkage, generate_tpch_lineitem
+from repro.exceptions import EvaluationError
+from repro.experiments import (
+    format_table,
+    histogram_quality_table,
+    run_histogram_quality,
+    run_timing_vs_buckets,
+    run_timing_vs_domain,
+    run_wavelet_quality,
+    timing_table,
+    wavelet_quality_table,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def movie_model():
+    return generate_movie_linkage(48, seed=13)
+
+
+@pytest.fixture(scope="module")
+def figure2_result(movie_model):
+    return run_histogram_quality(
+        movie_model, "ssre", budgets=[2, 6, 12], sanity=0.5, sample_count=2, seed=3
+    )
+
+
+class TestFigure2:
+    def test_curves_present(self, figure2_result):
+        assert "probabilistic" in figure2_result.curves
+        assert "expectation" in figure2_result.curves
+        assert figure2_result.sampled_world_methods() == ["sampled_world_1", "sampled_world_2"]
+
+    def test_probabilistic_curve_is_monotone(self, figure2_result):
+        errors = figure2_result.curve("probabilistic").errors
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_probabilistic_never_worse_than_baselines(self, figure2_result):
+        optimal = figure2_result.curve("probabilistic").errors
+        for method, curve in figure2_result.curves.items():
+            if method == "probabilistic":
+                continue
+            assert all(o <= e + 1e-9 for o, e in zip(optimal, curve.errors))
+
+    def test_error_percent_range(self, figure2_result):
+        for curve in figure2_result.curves.values():
+            assert all(-1e-6 <= p for p in curve.error_percents)
+        # The probabilistic method interpolates between the anchors, so it
+        # cannot exceed 100%.
+        assert all(p <= 100.0 + 1e-6 for p in figure2_result.curve("probabilistic").error_percents)
+
+    def test_anchors_ordered(self, figure2_result):
+        assert figure2_result.min_error <= figure2_result.max_error + 1e-12
+
+    def test_rejects_maximum_metric_and_empty_budgets(self, movie_model):
+        with pytest.raises(EvaluationError):
+            run_histogram_quality(movie_model, "mae", budgets=[2])
+        with pytest.raises(EvaluationError):
+            run_histogram_quality(movie_model, "sse", budgets=[])
+
+    def test_unknown_curve_rejected(self, figure2_result):
+        with pytest.raises(EvaluationError):
+            figure2_result.curve("nonexistent")
+
+    def test_table_rendering(self, figure2_result):
+        table = histogram_quality_table(figure2_result)
+        assert "probabilistic" in table and "buckets" in table
+
+    def test_rows_and_csv(self, figure2_result, tmp_path):
+        rows = figure2_result.curve("probabilistic").as_rows()
+        assert rows[0]["method"] == "probabilistic"
+        path = write_csv(rows, tmp_path / "fig2.csv")
+        assert path.exists() and path.read_text().startswith("method,")
+
+
+class TestFigure3:
+    def test_vs_domain(self):
+        result = run_timing_vs_domain([16, 32], buckets=4, metric="sse")
+        assert result.swept == "domain_size"
+        assert all(point.seconds > 0 for point in result.points)
+        assert [p.domain_size for p in result.points] == [16, 32]
+
+    def test_vs_buckets(self):
+        result = run_timing_vs_buckets([2, 4], domain_size=32, metric="sse")
+        assert result.swept == "buckets"
+        assert [p.buckets for p in result.points] == [2, 4]
+
+    def test_table_rendering(self):
+        result = run_timing_vs_buckets([2, 3], domain_size=24, metric="sse")
+        assert "seconds" in timing_table(result)
+
+    def test_custom_model_factory(self):
+        result = run_timing_vs_domain(
+            [16], buckets=2, metric="sse",
+            model_factory=lambda n: generate_tpch_lineitem(n, n * 2, seed=1),
+        )
+        assert result.points[0].domain_size == 16
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        model = generate_tpch_lineitem(64, 256, seed=5)
+        return run_wavelet_quality(model, budgets=[4, 8, 16], sample_count=2, seed=5)
+
+    def test_curves_present(self, result):
+        assert "probabilistic" in result.curves
+        assert len([m for m in result.curves if m.startswith("sampled_world")]) == 2
+
+    def test_probabilistic_never_worse(self, result):
+        optimal = result.curve("probabilistic").error_percents
+        for method, curve in result.curves.items():
+            if method == "probabilistic":
+                continue
+            assert all(o <= e + 1e-9 for o, e in zip(optimal, curve.error_percents))
+
+    def test_percentages_decrease_with_budget(self, result):
+        percents = result.curve("probabilistic").error_percents
+        assert all(b <= a + 1e-9 for a, b in zip(percents, percents[1:]))
+
+    def test_percentages_in_range(self, result):
+        for curve in result.curves.values():
+            assert all(-1e-9 <= p <= 100.0 + 1e-9 for p in curve.error_percents)
+
+    def test_expected_sse_tracks_percentage(self, result):
+        curve = result.curve("probabilistic")
+        order_by_percent = np.argsort(curve.error_percents)
+        order_by_sse = np.argsort(curve.expected_sse)
+        assert list(order_by_percent) == list(order_by_sse)
+
+    def test_table_rendering(self, result):
+        assert "coefficients" in wavelet_quality_table(result)
+
+    def test_empty_budgets_rejected(self):
+        model = generate_tpch_lineitem(16, 32, seed=1)
+        with pytest.raises(EvaluationError):
+            run_wavelet_quality(model, budgets=[])
+
+
+class TestReportingHelpers:
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_format_table_alignment(self):
+        table = format_table([{"a": 1, "b": "x"}, {"a": 200, "b": "yyyy"}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == "\r\n" or path.read_text() == "\n" or path.read_text() == ""

@@ -1,0 +1,109 @@
+"""Tests for the maximum-error bucket-cost oracles (MAE and MARE)."""
+
+import numpy as np
+import pytest
+
+from repro import ValuePdfModel
+from repro.core.metrics import MetricSpec
+from repro.exceptions import SynopsisError
+from repro.histograms.max_error import MaxAbsoluteCost, MaxAbsoluteRelativeCost
+from tests.conftest import small_tuple_pdf, small_value_pdf
+
+
+def max_bucket_error_by_enumeration(model, start, end, representative, metric, sanity):
+    """max_{i in bucket} E[err(g_i, representative)] via world enumeration."""
+    spec = MetricSpec.of(metric, sanity)
+    per_item = np.zeros(model.domain_size)
+    for world in model.enumerate_worlds():
+        errors = np.asarray(spec.point_error(world.frequencies, representative))
+        per_item += world.probability * errors
+    return float(per_item[start : end + 1].max())
+
+
+def brute_force_min(model, start, end, metric, sanity, upper):
+    candidates = np.linspace(0.0, upper, 2001)
+    return min(
+        max_bucket_error_by_enumeration(model, start, end, float(c), metric, sanity)
+        for c in candidates
+    )
+
+
+class TestMaxAbsoluteCost:
+    def test_aggregation_is_max(self, example1_value):
+        assert MaxAbsoluteCost.from_model(example1_value).aggregation == "max"
+
+    def test_two_deterministic_items(self):
+        model = ValuePdfModel.deterministic([0.0, 10.0])
+        cost, representative = MaxAbsoluteCost.from_model(model).cost_and_representative(0, 1)
+        assert cost == pytest.approx(5.0, abs=1e-6)
+        assert representative == pytest.approx(5.0, abs=1e-6)
+
+    def test_cost_matches_enumeration_at_own_representative(self):
+        model = small_value_pdf(seed=61, domain_size=5)
+        cost_fn = MaxAbsoluteCost.from_model(model)
+        for start in range(5):
+            for end in range(start, 5):
+                cost, representative = cost_fn.cost_and_representative(start, end)
+                brute = max_bucket_error_by_enumeration(model, start, end, representative, "mae", 1.0)
+                assert cost == pytest.approx(brute, abs=1e-6)
+
+    def test_near_optimal_against_fine_grid(self):
+        model = small_value_pdf(seed=62, domain_size=4)
+        cost_fn = MaxAbsoluteCost.from_model(model)
+        upper = model.to_frequency_distributions().values.max()
+        cost = cost_fn.cost(0, 3)
+        best = brute_force_min(model, 0, 3, "mae", 1.0, upper)
+        assert cost <= best + 1e-4
+        # The fine grid may narrowly miss the true optimum, so allow it to be
+        # slightly above the oracle's (exact) minimum.
+        assert cost >= best - upper / 1000.0
+
+    def test_single_item_bucket(self):
+        model = small_value_pdf(seed=63, domain_size=4)
+        cost_fn = MaxAbsoluteCost.from_model(model)
+        cost, representative = cost_fn.cost_and_representative(2, 2)
+        brute = max_bucket_error_by_enumeration(model, 2, 2, representative, "mae", 1.0)
+        assert cost == pytest.approx(brute, abs=1e-6)
+
+    def test_monotone_in_span(self):
+        model = small_value_pdf(seed=64, domain_size=6)
+        cost_fn = MaxAbsoluteCost.from_model(model)
+        for start in range(6):
+            costs = [cost_fn.cost(start, end) for end in range(start, 6)]
+            assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_invalid_span(self, example1_value):
+        with pytest.raises(SynopsisError):
+            MaxAbsoluteCost.from_model(example1_value).cost(1, 0)
+
+
+class TestMaxAbsoluteRelativeCost:
+    @pytest.mark.parametrize("sanity", [0.5, 1.0])
+    def test_cost_matches_enumeration_at_own_representative(self, sanity):
+        model = small_value_pdf(seed=65, domain_size=5)
+        cost_fn = MaxAbsoluteRelativeCost.from_model(model, sanity=sanity)
+        for start in range(5):
+            for end in range(start, 5):
+                cost, representative = cost_fn.cost_and_representative(start, end)
+                brute = max_bucket_error_by_enumeration(
+                    model, start, end, representative, "mare", sanity
+                )
+                assert cost == pytest.approx(brute, abs=1e-6)
+
+    def test_near_optimal_against_fine_grid(self):
+        model = small_tuple_pdf(seed=66, domain_size=4, tuple_count=4)
+        cost_fn = MaxAbsoluteRelativeCost.from_model(model, sanity=1.0)
+        upper = model.to_frequency_distributions().values.max()
+        cost = cost_fn.cost(0, 3)
+        best = brute_force_min(model, 0, 3, "mare", 1.0, max(upper, 1.0))
+        assert cost <= best + 1e-4
+
+    def test_sanity_must_be_positive(self, example1_value):
+        with pytest.raises(SynopsisError):
+            MaxAbsoluteRelativeCost.from_model(example1_value, sanity=0.0)
+
+    def test_total_cost_uses_max(self):
+        model = small_value_pdf(seed=67, domain_size=6)
+        cost_fn = MaxAbsoluteRelativeCost.from_model(model, sanity=1.0)
+        total = cost_fn.total_cost([(0, 2), (3, 5)])
+        assert total == pytest.approx(max(cost_fn.cost(0, 2), cost_fn.cost(3, 5)))

@@ -1,0 +1,143 @@
+"""Tests for the SSE bucket-cost oracle (fixed and paper variants, all models)."""
+
+import numpy as np
+import pytest
+
+from repro import TuplePdfModel, ValuePdfModel
+from repro.evaluation import (
+    exhaustive_bucket_sse,
+    exhaustive_expected_sample_variance_cost,
+)
+from repro.exceptions import SynopsisError
+from repro.histograms.sse import SseCost
+from tests.conftest import small_basic, small_tuple_pdf, small_value_pdf
+
+
+def all_spans(n):
+    return [(s, e) for s in range(n) for e in range(s, n)]
+
+
+class TestFixedVariant:
+    """variant="fixed": the Section 2.3 objective with a fixed representative."""
+
+    @pytest.mark.parametrize(
+        "factory", [small_value_pdf, small_tuple_pdf, small_basic], ids=["value", "tuple", "basic"]
+    )
+    def test_cost_matches_exhaustive_enumeration(self, factory):
+        model = factory(seed=21)
+        cost_fn = SseCost.from_model(model, variant="fixed")
+        for start, end in all_spans(model.domain_size):
+            cost, representative = cost_fn.cost_and_representative(start, end)
+            brute = exhaustive_bucket_sse(model, start, end, representative)
+            assert cost == pytest.approx(brute, abs=1e-9)
+
+    def test_representative_is_mean_expected_frequency(self, example1_value):
+        cost_fn = SseCost.from_model(example1_value)
+        _, representative = cost_fn.cost_and_representative(0, 2)
+        assert representative == pytest.approx(example1_value.expected_frequencies().mean())
+
+    def test_representative_is_optimal(self, example1_value):
+        cost_fn = SseCost.from_model(example1_value)
+        cost, representative = cost_fn.cost_and_representative(0, 2)
+        for candidate in np.linspace(representative - 1.0, representative + 1.0, 41):
+            brute = exhaustive_bucket_sse(example1_value, 0, 2, float(candidate))
+            assert cost <= brute + 1e-9
+
+    def test_costs_for_starts_consistent(self):
+        model = small_value_pdf(seed=3, domain_size=10)
+        cost_fn = SseCost.from_model(model)
+        end = 7
+        starts = np.arange(0, end + 1)
+        vectorised = cost_fn.costs_for_starts(starts, end)
+        scalar = [cost_fn.cost(int(s), end) for s in starts]
+        assert np.allclose(vectorised, scalar)
+
+    def test_monotone_in_span(self):
+        model = small_value_pdf(seed=4, domain_size=8)
+        cost_fn = SseCost.from_model(model)
+        for start in range(model.domain_size):
+            costs = [cost_fn.cost(start, end) for end in range(start, model.domain_size)]
+            assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_invalid_span_rejected(self, example1_value):
+        cost_fn = SseCost.from_model(example1_value)
+        with pytest.raises(SynopsisError):
+            cost_fn.cost(2, 1)
+        with pytest.raises(SynopsisError):
+            cost_fn.cost(0, 5)
+
+    def test_unknown_variant_rejected(self, example1_value):
+        with pytest.raises(SynopsisError):
+            SseCost(example1_value.to_frequency_distributions(), variant="bogus")
+
+
+class TestPaperVariant:
+    """variant="paper": Eq. (5), the expected within-bucket sample variance."""
+
+    def test_paper_example_bucket_cost(self, example1_tuple):
+        # Section 3.1's worked example: the whole-domain bucket has cost
+        # 252/144 - (1/3)(136/48) = 29/36.
+        cost_fn = SseCost.from_model(example1_tuple, variant="paper")
+        assert cost_fn.cost(0, 2) == pytest.approx(29.0 / 36.0)
+
+    @pytest.mark.parametrize(
+        "factory", [small_value_pdf, small_tuple_pdf, small_basic], ids=["value", "tuple", "basic"]
+    )
+    def test_cost_matches_exhaustive_sample_variance(self, factory):
+        model = factory(seed=22)
+        cost_fn = SseCost.from_model(model, variant="paper")
+        for start, end in all_spans(model.domain_size):
+            brute = exhaustive_expected_sample_variance_cost(model, start, end)
+            assert cost_fn.cost(start, end) == pytest.approx(brute, abs=1e-9)
+
+    def test_straddling_tuples_handled_exactly(self):
+        # A tuple whose alternatives straddle the bucket's left boundary is the
+        # case the plain A/B/C prefix arrays miss; the correction must fix it.
+        model = TuplePdfModel(
+            [
+                [(0, 0.4), (2, 0.5)],
+                [(1, 0.3), (3, 0.6)],
+                [(2, 0.2), (3, 0.2)],
+            ],
+            domain_size=4,
+        )
+        cost_fn = SseCost.from_model(model, variant="paper")
+        for start, end in all_spans(4):
+            brute = exhaustive_expected_sample_variance_cost(model, start, end)
+            assert cost_fn.cost(start, end) == pytest.approx(brute, abs=1e-9), (start, end)
+
+    def test_costs_for_starts_consistent_with_straddlers(self):
+        model = small_tuple_pdf(seed=8, domain_size=7, tuple_count=6)
+        cost_fn = SseCost.from_model(model, variant="paper")
+        end = 6
+        starts = np.arange(0, end + 1)
+        vectorised = cost_fn.costs_for_starts(starts, end)
+        scalar = [cost_fn.cost(int(s), end) for s in starts]
+        assert np.allclose(vectorised, scalar)
+
+    def test_paper_cost_never_exceeds_fixed_cost(self):
+        model = small_tuple_pdf(seed=10, domain_size=6)
+        fixed = SseCost.from_model(model, variant="fixed")
+        paper = SseCost.from_model(model, variant="paper")
+        for start, end in all_spans(6):
+            assert paper.cost(start, end) <= fixed.cost(start, end) + 1e-9
+
+    def test_value_pdf_paper_variant_uses_independent_variances(self, example1_value):
+        cost_fn = SseCost.from_model(example1_value, variant="paper")
+        brute = exhaustive_expected_sample_variance_cost(example1_value, 0, 2)
+        assert cost_fn.cost(0, 2) == pytest.approx(brute)
+
+    def test_variants_agree_on_deterministic_data(self):
+        deterministic = ValuePdfModel.deterministic([3.0, 1.0, 4.0, 1.0, 5.0])
+        fixed = SseCost.from_model(deterministic, variant="fixed")
+        paper = SseCost.from_model(deterministic, variant="paper")
+        for start, end in all_spans(5):
+            assert fixed.cost(start, end) == pytest.approx(paper.cost(start, end))
+
+    def test_mismatched_domain_rejected(self, example1_tuple, example1_value):
+        with pytest.raises(SynopsisError):
+            SseCost(
+                small_value_pdf(seed=1, domain_size=5).to_frequency_distributions(),
+                variant="paper",
+                model=example1_tuple,
+            )

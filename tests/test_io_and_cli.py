@@ -1,0 +1,158 @@
+"""Tests for the IO interchange formats and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BasicModel, Histogram, ModelValidationError, TuplePdfModel, ValuePdfModel
+from repro.cli import build_parser, main
+from repro.core.histogram import Bucket
+from repro.core.wavelet import WaveletSynopsis
+from repro.exceptions import SynopsisError
+from repro.io import (
+    model_from_dict,
+    model_to_dict,
+    read_basic_text,
+    read_model,
+    read_synopsis,
+    write_basic_text,
+    write_model,
+    write_synopsis,
+)
+
+
+class TestModelSerialisation:
+    def test_basic_round_trip(self, example1_basic, tmp_path):
+        path = write_model(example1_basic, tmp_path / "basic.json")
+        loaded = read_model(path)
+        assert isinstance(loaded, BasicModel)
+        assert loaded.pairs == example1_basic.pairs
+        assert loaded.domain_size == example1_basic.domain_size
+
+    def test_tuple_round_trip(self, example1_tuple, tmp_path):
+        path = write_model(example1_tuple, tmp_path / "tuple.json")
+        loaded = read_model(path)
+        assert isinstance(loaded, TuplePdfModel)
+        assert np.allclose(
+            loaded.expected_frequencies(), example1_tuple.expected_frequencies()
+        )
+
+    def test_value_round_trip(self, example1_value, tmp_path):
+        path = write_model(example1_value, tmp_path / "value.json")
+        loaded = read_model(path)
+        assert isinstance(loaded, ValuePdfModel)
+        assert np.allclose(
+            loaded.expected_frequencies(), example1_value.expected_frequencies()
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelValidationError):
+            model_from_dict({"model": "mystery"})
+
+    def test_dict_format_is_json_friendly(self, example1_basic):
+        payload = model_to_dict(example1_basic)
+        json.dumps(payload)  # must not raise
+        assert payload["model"] == "basic"
+
+
+class TestBasicTextFormat:
+    def test_round_trip(self, example1_basic, tmp_path):
+        path = write_basic_text(example1_basic, tmp_path / "pairs.txt")
+        loaded = read_basic_text(path, domain_size=3)
+        assert loaded.pairs == example1_basic.pairs
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("# header\n\n0 0.5  # trailing comment\n2 0.25\n")
+        loaded = read_basic_text(path)
+        assert loaded.pairs == [(0, 0.5), (2, 0.25)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 0.5 extra\n")
+        with pytest.raises(ModelValidationError):
+            read_basic_text(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ModelValidationError):
+            read_basic_text(path)
+
+
+class TestSynopsisSerialisation:
+    def test_histogram_round_trip(self, tmp_path):
+        histogram = Histogram([Bucket(0, 1, 2.0), Bucket(2, 2, 1.0)], domain_size=3)
+        path = write_synopsis(histogram, tmp_path / "hist.json")
+        assert read_synopsis(path) == histogram
+
+    def test_wavelet_round_trip(self, tmp_path):
+        synopsis = WaveletSynopsis({0: 1.5, 3: -0.25}, domain_size=5)
+        path = write_synopsis(synopsis, tmp_path / "wave.json")
+        assert read_synopsis(path) == synopsis
+
+    def test_unknown_synopsis_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"synopsis": "sketch"}))
+        with pytest.raises(SynopsisError):
+            read_synopsis(path)
+
+    def test_unsupported_object_rejected(self, tmp_path):
+        with pytest.raises(SynopsisError):
+            write_synopsis("not a synopsis", tmp_path / "x.json")
+
+
+class TestCli:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("build-histogram", "build-wavelet", "evaluate", "generate", "experiment"):
+            assert command in text
+
+    def test_generate_build_evaluate_workflow(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        hist_path = tmp_path / "hist.json"
+        wave_path = tmp_path / "wave.json"
+
+        assert main(["generate", "--dataset", "sensors", "--domain-size", "32",
+                     "--seed", "3", "--output", str(model_path)]) == 0
+        assert model_path.exists()
+
+        assert main(["build-histogram", "--input", str(model_path), "--output", str(hist_path),
+                     "--buckets", "4", "--metric", "sare", "--sanity", "0.5"]) == 0
+        assert main(["build-wavelet", "--input", str(model_path), "--output", str(wave_path),
+                     "--coefficients", "4"]) == 0
+        assert main(["evaluate", "--input", str(model_path), "--synopsis", str(hist_path),
+                     "--metric", "sare", "--metric", "sse"]) == 0
+
+        output = capsys.readouterr().out
+        assert "SARE" in output and "SSE" in output
+
+    def test_build_histogram_approximate(self, tmp_path):
+        model_path = tmp_path / "model.json"
+        hist_path = tmp_path / "hist.json"
+        main(["generate", "--dataset", "tpch", "--domain-size", "24", "--seed", "1",
+              "--output", str(model_path)])
+        assert main(["build-histogram", "--input", str(model_path), "--output", str(hist_path),
+                     "--buckets", "3", "--method", "approximate", "--epsilon", "0.2"]) == 0
+        assert read_synopsis(hist_path).bucket_count <= 24
+
+    def test_experiment_figure4(self, tmp_path, capsys):
+        assert main(["experiment", "figure4", "--dataset", "tpch", "--domain-size", "32",
+                     "--budgets", "2", "4", "--seed", "2"]) == 0
+        assert "probabilistic" in capsys.readouterr().out
+
+    def test_experiment_figure2(self, capsys):
+        assert main(["experiment", "figure2", "--dataset", "movies", "--domain-size", "24",
+                     "--metric", "sae", "--budgets", "2", "4", "--seed", "2"]) == 0
+        assert "expectation" in capsys.readouterr().out
+
+    def test_error_handling_returns_exit_code(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        bad_model = tmp_path / "bad.json"
+        bad_model.write_text(json.dumps({"model": "mystery"}))
+        code = main(["build-histogram", "--input", str(bad_model), "--output",
+                     str(tmp_path / "out.json"), "--buckets", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""Unit tests for the error-metric definitions."""
+
+import numpy as np
+import pytest
+
+from repro import ErrorMetric, MetricSpec, point_error
+from repro.core.metrics import is_cumulative, is_maximum, is_relative, is_squared
+from repro.exceptions import EvaluationError
+
+
+class TestErrorMetricEnum:
+    def test_parse_string(self):
+        assert ErrorMetric.parse("SSE") is ErrorMetric.SSE
+        assert ErrorMetric.parse(" sare ") is ErrorMetric.SARE
+
+    def test_parse_passthrough(self):
+        assert ErrorMetric.parse(ErrorMetric.MAE) is ErrorMetric.MAE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(EvaluationError):
+            ErrorMetric.parse("l42")
+
+    @pytest.mark.parametrize(
+        "metric, cumulative, squared, relative",
+        [
+            (ErrorMetric.SSE, True, True, False),
+            (ErrorMetric.SSRE, True, True, True),
+            (ErrorMetric.SAE, True, False, False),
+            (ErrorMetric.SARE, True, False, True),
+            (ErrorMetric.MAE, False, False, False),
+            (ErrorMetric.MARE, False, False, True),
+        ],
+    )
+    def test_classification(self, metric, cumulative, squared, relative):
+        assert metric.cumulative is cumulative
+        assert metric.maximum is (not cumulative)
+        assert metric.squared is squared
+        assert metric.relative is relative
+
+    def test_helper_functions(self):
+        assert is_cumulative("sse") and not is_maximum("sse")
+        assert is_maximum("mare")
+        assert is_squared("ssre") and not is_squared("sae")
+        assert is_relative("sare") and not is_relative("mae")
+
+
+class TestPointError:
+    def test_squared(self):
+        assert point_error(3.0, 1.0, "sse") == pytest.approx(4.0)
+
+    def test_absolute(self):
+        assert point_error(3.0, 5.0, "sae") == pytest.approx(2.0)
+
+    def test_squared_relative_uses_squared_sanity(self):
+        # (3-1)^2 / max(c, 3)^2 with c = 2 -> 4 / 9
+        assert point_error(3.0, 1.0, "ssre", sanity=2.0) == pytest.approx(4.0 / 9.0)
+        # small actual value clamps to c^2
+        assert point_error(0.5, 1.5, "ssre", sanity=2.0) == pytest.approx(1.0 / 4.0)
+
+    def test_absolute_relative(self):
+        assert point_error(4.0, 1.0, "sare", sanity=1.0) == pytest.approx(0.75)
+        assert point_error(0.0, 1.0, "mare", sanity=0.5) == pytest.approx(2.0)
+
+    def test_vectorised(self):
+        errors = point_error(np.array([1.0, 2.0]), 0.0, "sse")
+        assert np.allclose(errors, [1.0, 4.0])
+
+    def test_scalar_return_type(self):
+        assert isinstance(point_error(1.0, 2.0, "sae"), float)
+
+    def test_invalid_sanity(self):
+        with pytest.raises(EvaluationError):
+            point_error(1.0, 2.0, "sare", sanity=0.0)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        actual = rng.normal(size=50)
+        estimate = rng.normal(size=50)
+        for metric in ErrorMetric:
+            assert np.all(np.asarray(point_error(actual, estimate, metric)) >= 0.0)
+
+
+class TestMetricSpec:
+    def test_of_accepts_spec(self):
+        spec = MetricSpec.of(ErrorMetric.SAE)
+        assert MetricSpec.of(spec) is spec
+
+    def test_of_accepts_string_and_sanity(self):
+        spec = MetricSpec.of("sare", 0.5)
+        assert spec.metric is ErrorMetric.SARE
+        assert spec.sanity == 0.5
+
+    def test_invalid_sanity_rejected(self):
+        with pytest.raises(EvaluationError):
+            MetricSpec(ErrorMetric.SSRE, sanity=-1.0)
+
+    def test_nonrelative_ignores_sanity_validation(self):
+        spec = MetricSpec(ErrorMetric.SSE, sanity=-5.0)
+        assert spec.metric is ErrorMetric.SSE
+
+    def test_describe(self):
+        assert MetricSpec(ErrorMetric.SSE).describe() == "SSE"
+        assert MetricSpec(ErrorMetric.SARE, 0.5).describe() == "SARE(c=0.5)"
+
+    def test_point_error_delegates(self):
+        spec = MetricSpec(ErrorMetric.SSRE, 1.0)
+        assert spec.point_error(2.0, 0.0) == pytest.approx(1.0)
+
+    def test_passthrough_properties(self):
+        spec = MetricSpec(ErrorMetric.MARE, 1.0)
+        assert spec.maximum and not spec.cumulative
+        assert spec.relative and not spec.squared

@@ -1,0 +1,179 @@
+"""Unit tests for the basic and tuple-pdf models."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BasicModel,
+    DomainError,
+    ModelValidationError,
+    ProbabilisticTuple,
+    TuplePdfModel,
+    WorldEnumerationError,
+)
+from repro.models.worlds import merge_worlds
+
+
+class TestProbabilisticTuple:
+    def test_alternatives_sorted_by_item(self):
+        t = ProbabilisticTuple([(5, 0.2), (1, 0.3)])
+        assert t.alternatives == [(1, 0.3), (5, 0.2)]
+
+    def test_duplicate_items_merged(self):
+        t = ProbabilisticTuple([(2, 0.2), (2, 0.3)])
+        assert t.alternatives == [(2, 0.5)]
+
+    def test_absent_probability(self):
+        t = ProbabilisticTuple([(0, 0.25), (1, 0.25)])
+        assert t.absent_probability == pytest.approx(0.5)
+
+    def test_probability_of(self):
+        t = ProbabilisticTuple([(3, 0.4), (7, 0.1)])
+        assert t.probability_of(3) == pytest.approx(0.4)
+        assert t.probability_of(4) == 0.0
+
+    def test_probability_in_range(self):
+        t = ProbabilisticTuple([(2, 0.2), (5, 0.3), (9, 0.1)])
+        assert t.probability_in_range(2, 5) == pytest.approx(0.5)
+        assert t.probability_in_range(3, 4) == 0.0
+        assert t.probability_in_range(0, 100) == pytest.approx(0.6)
+        assert t.probability_in_range(5, 2) == 0.0
+
+    def test_rejects_probabilities_summing_above_one(self):
+        with pytest.raises(ModelValidationError):
+            ProbabilisticTuple([(0, 0.7), (1, 0.6)])
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ModelValidationError):
+            ProbabilisticTuple([])
+        with pytest.raises(ModelValidationError):
+            ProbabilisticTuple([(0, -0.1)])
+        with pytest.raises(ModelValidationError):
+            ProbabilisticTuple([(-1, 0.1)])
+
+    def test_len_and_max_item(self):
+        t = ProbabilisticTuple([(4, 0.5), (9, 0.2)])
+        assert len(t) == 2
+        assert t.max_item() == 9
+
+
+class TestTuplePdfModel:
+    def test_domain_size_inferred(self):
+        model = TuplePdfModel([[(0, 0.5)], [(4, 0.5)]])
+        assert model.domain_size == 5
+
+    def test_domain_size_too_small_rejected(self):
+        with pytest.raises(DomainError):
+            TuplePdfModel([[(4, 0.5)]], domain_size=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelValidationError):
+            TuplePdfModel([])
+
+    def test_size_counts_pairs(self, example1_tuple):
+        assert example1_tuple.size == 4
+        assert example1_tuple.tuple_count == 2
+
+    def test_expected_frequencies_and_variances_match_enumeration(self, random_small_tuple_pdf):
+        model = random_small_tuple_pdf
+        worlds = model.enumerate_worlds()
+        brute_expectation = sum(w.probability * w.frequencies for w in worlds)
+        brute_second = sum(w.probability * w.frequencies ** 2 for w in worlds)
+        assert np.allclose(model.expected_frequencies(), brute_expectation)
+        assert np.allclose(
+            model.frequency_variances(), brute_second - brute_expectation ** 2
+        )
+
+    def test_induced_marginals_match_enumeration(self, random_small_tuple_pdf):
+        model = random_small_tuple_pdf
+        distributions = model.to_frequency_distributions()
+        worlds = model.enumerate_worlds()
+        for item in range(model.domain_size):
+            marginal = distributions.marginal(item)
+            for value, probability in marginal.items():
+                brute = sum(
+                    w.probability for w in worlds if abs(w.frequencies[item] - value) < 1e-12
+                )
+                assert probability == pytest.approx(brute, abs=1e-9)
+
+    def test_range_presence_probabilities(self, example1_tuple):
+        probs = example1_tuple.range_presence_probabilities(1, 2)
+        assert probs == pytest.approx([1.0 / 3.0, 0.75])
+
+    def test_world_count_matches_enumeration(self, example1_tuple):
+        assert example1_tuple.world_count() == len(list(example1_tuple.iter_worlds()))
+
+    def test_enumeration_cap(self, example1_tuple):
+        with pytest.raises(WorldEnumerationError):
+            example1_tuple.enumerate_worlds(max_worlds=2)
+
+    def test_sample_world_mean_converges(self, example1_tuple, rng):
+        samples = example1_tuple.sample_worlds(4000, rng)
+        assert np.allclose(
+            samples.mean(axis=0), example1_tuple.expected_frequencies(), atol=0.05
+        )
+
+    def test_to_value_pdf_preserves_marginals(self, example1_tuple):
+        value_model = example1_tuple.to_value_pdf()
+        assert np.allclose(
+            value_model.expected_frequencies(), example1_tuple.expected_frequencies()
+        )
+        assert np.allclose(
+            value_model.frequency_variances(), example1_tuple.frequency_variances()
+        )
+
+    def test_frequency_distributions_cached(self, example1_tuple):
+        assert example1_tuple.to_frequency_distributions() is example1_tuple.to_frequency_distributions()
+
+    def test_repr(self, example1_tuple):
+        assert "TuplePdfModel" in repr(example1_tuple)
+
+
+class TestBasicModel:
+    def test_is_special_case_of_tuple_pdf(self, example1_basic):
+        assert isinstance(example1_basic, TuplePdfModel)
+        assert all(len(t) == 1 for t in example1_basic.tuples)
+
+    def test_pairs_preserved(self):
+        pairs = [(0, 0.5), (2, 0.25)]
+        model = BasicModel(pairs)
+        assert model.pairs == pairs
+
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(ModelValidationError):
+            BasicModel([(0, 1.5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelValidationError):
+            BasicModel([])
+
+    def test_from_arrays(self):
+        model = BasicModel.from_arrays([0, 1], [0.5, 0.25], domain_size=4)
+        assert model.domain_size == 4
+        assert model.pairs == [(0, 0.5), (1, 0.25)]
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ModelValidationError):
+            BasicModel.from_arrays([0, 1], [0.5])
+
+    def test_duplicate_items_accumulate_frequency(self):
+        model = BasicModel([(1, 1.0), (1, 1.0)], domain_size=2)
+        marginal = model.to_frequency_distributions().marginal(1)
+        assert marginal[2.0] == pytest.approx(1.0)
+
+    def test_certain_subset(self):
+        model = BasicModel([(0, 1.0), (1, 0.4), (0, 1.0)], domain_size=2)
+        assert np.allclose(model.certain_subset(), [2.0, 0.0])
+
+    def test_induced_marginal_is_poisson_binomial(self):
+        model = BasicModel([(0, 0.5), (0, 0.5)], domain_size=1)
+        marginal = model.to_frequency_distributions().marginal(0)
+        assert marginal[0.0] == pytest.approx(0.25)
+        assert marginal[1.0] == pytest.approx(0.5)
+        assert marginal[2.0] == pytest.approx(0.25)
+
+    def test_worlds_merge_as_in_paper(self, example1_basic):
+        # World {2} (only item "2" present, 0-indexed item 1) can arise from either
+        # of the two middle pairs; merged probability is 5/48 + ... = 5/48 twice.
+        merged = merge_worlds(example1_basic.enumerate_worlds())
+        assert merged[(0.0, 1.0, 0.0)] == pytest.approx(5.0 / 48.0)

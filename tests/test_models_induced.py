@@ -1,0 +1,76 @@
+"""Unit tests for the induced value pdf machinery (Poisson-binomial convolution)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import ModelValidationError
+from repro.models.induced import induced_distributions_from_bernoullis, poisson_binomial_pmf
+
+
+class TestPoissonBinomialPmf:
+    def test_matches_binomial_for_equal_probabilities(self):
+        pmf = poisson_binomial_pmf([0.3] * 6)
+        expected = stats.binom.pmf(np.arange(7), 6, 0.3)
+        assert np.allclose(pmf, expected)
+
+    def test_matches_brute_force_for_unequal_probabilities(self):
+        probabilities = [0.1, 0.55, 0.9, 0.25]
+        pmf = poisson_binomial_pmf(probabilities)
+        brute = np.zeros(len(probabilities) + 1)
+        for outcome in itertools.product([0, 1], repeat=len(probabilities)):
+            weight = 1.0
+            for bit, p in zip(outcome, probabilities):
+                weight *= p if bit else (1.0 - p)
+            brute[sum(outcome)] += weight
+        assert np.allclose(pmf, brute)
+
+    def test_empty_input(self):
+        assert np.allclose(poisson_binomial_pmf([]), [1.0])
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(5)
+        pmf = poisson_binomial_pmf(rng.random(20))
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_mean_is_sum_of_probabilities(self):
+        probabilities = [0.2, 0.4, 0.7]
+        pmf = poisson_binomial_pmf(probabilities)
+        mean = float(np.arange(pmf.size) @ pmf)
+        assert mean == pytest.approx(sum(probabilities))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelValidationError):
+            poisson_binomial_pmf([1.5])
+        with pytest.raises(ModelValidationError):
+            poisson_binomial_pmf([-0.2])
+
+
+class TestInducedDistributions:
+    def test_absent_items_are_zero(self):
+        dist = induced_distributions_from_bernoullis({1: [0.5]}, domain_size=3)
+        assert dist.marginal(0) == {0.0: 1.0}
+        assert dist.marginal(2) == {0.0: 1.0}
+
+    def test_single_item_distribution(self):
+        dist = induced_distributions_from_bernoullis({0: [0.5, 0.5]}, domain_size=1)
+        marginal = dist.marginal(0)
+        assert marginal[1.0] == pytest.approx(0.5)
+
+    def test_grid_covers_largest_count(self):
+        dist = induced_distributions_from_bernoullis({0: [0.5] * 4, 1: [0.2]}, domain_size=2)
+        assert dist.values.max() == 4.0
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ModelValidationError):
+            induced_distributions_from_bernoullis({0: [0.5]}, domain_size=0)
+        with pytest.raises(ModelValidationError):
+            induced_distributions_from_bernoullis({5: [0.5]}, domain_size=2)
+
+    def test_expectations_are_sums_of_probabilities(self):
+        mapping = {0: [0.3, 0.6], 2: [0.9]}
+        dist = induced_distributions_from_bernoullis(mapping, domain_size=3)
+        assert np.allclose(dist.expectations(), [0.9, 0.0, 0.9])

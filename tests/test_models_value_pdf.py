@@ -1,0 +1,100 @@
+"""Unit tests for the value-pdf model."""
+
+import numpy as np
+import pytest
+
+from repro import DomainError, ModelValidationError, ValuePdfModel
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        model = ValuePdfModel.from_dict({1: [(2.0, 0.5)], 3: [(1.0, 1.0)]}, domain_size=5)
+        assert model.domain_size == 5
+        assert model.expected_frequencies() == pytest.approx([0.0, 1.0, 0.0, 1.0, 0.0])
+
+    def test_from_dict_infers_domain(self):
+        model = ValuePdfModel.from_dict({2: [(1.0, 1.0)]})
+        assert model.domain_size == 3
+
+    def test_from_dict_empty_requires_domain(self):
+        with pytest.raises(ModelValidationError):
+            ValuePdfModel.from_dict({})
+        model = ValuePdfModel.from_dict({}, domain_size=2)
+        assert np.allclose(model.expected_frequencies(), 0.0)
+
+    def test_from_dict_rejects_out_of_domain_item(self):
+        with pytest.raises(DomainError):
+            ValuePdfModel.from_dict({5: [(1.0, 1.0)]}, domain_size=3)
+        with pytest.raises(DomainError):
+            ValuePdfModel.from_dict({-1: [(1.0, 1.0)]}, domain_size=3)
+
+    def test_domain_size_pads_missing_items(self):
+        model = ValuePdfModel([[(1.0, 1.0)]], domain_size=3)
+        assert model.domain_size == 3
+        assert model.expected_frequencies() == pytest.approx([1.0, 0.0, 0.0])
+
+    def test_domain_size_smaller_than_items_rejected(self):
+        with pytest.raises(DomainError):
+            ValuePdfModel([[(1.0, 1.0)], [(1.0, 1.0)]], domain_size=1)
+
+    def test_probabilities_above_one_rejected(self):
+        with pytest.raises(ModelValidationError):
+            ValuePdfModel([[(1.0, 0.7), (2.0, 0.7)]])
+
+    def test_deterministic(self):
+        model = ValuePdfModel.deterministic([2.0, 5.0])
+        assert np.allclose(model.expected_frequencies(), [2.0, 5.0])
+        assert np.allclose(model.frequency_variances(), 0.0)
+        assert model.world_count() == 1
+
+    def test_remainder_goes_to_zero_frequency(self, example1_value):
+        marginal = example1_value.to_frequency_distributions().marginal(1)
+        assert marginal[0.0] == pytest.approx(5.0 / 12.0)
+
+    def test_fractional_frequencies_allowed(self):
+        model = ValuePdfModel([[(0.5, 0.5), (1.25, 0.5)]])
+        assert model.expected_frequencies()[0] == pytest.approx(0.875)
+
+
+class TestWorldsAndSampling:
+    def test_world_count(self, example1_value):
+        assert example1_value.world_count() == 12
+
+    def test_world_probabilities_sum_to_one(self, random_small_value_pdf):
+        worlds = random_small_value_pdf.enumerate_worlds()
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_sampled_mean_converges(self, example1_value, rng):
+        samples = example1_value.sample_worlds(4000, rng)
+        assert np.allclose(
+            samples.mean(axis=0), example1_value.expected_frequencies(), atol=0.06
+        )
+
+    def test_sampled_values_are_on_the_grid(self, example1_value, rng):
+        grid = set(example1_value.to_frequency_distributions().values.tolist())
+        world = example1_value.sample_world(rng)
+        assert set(world.tolist()) <= grid
+
+
+class TestConversions:
+    def test_round_trip_through_frequency_distributions(self, example1_value):
+        rebuilt = ValuePdfModel.from_frequency_distributions(
+            example1_value.to_frequency_distributions()
+        )
+        assert np.allclose(
+            rebuilt.expected_frequencies(), example1_value.expected_frequencies()
+        )
+        assert np.allclose(
+            rebuilt.frequency_variances(), example1_value.frequency_variances()
+        )
+
+    def test_per_item_pairs_copy(self, example1_value):
+        pairs = example1_value.per_item_pairs
+        pairs[0].append((9.0, 1.0))
+        assert example1_value.per_item_pairs[0] != pairs[0]
+
+    def test_size_counts_pairs(self, example1_value):
+        assert example1_value.size >= 4
+
+    def test_repr(self, example1_value):
+        assert "ValuePdfModel" in repr(example1_value)

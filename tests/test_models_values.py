@@ -1,0 +1,99 @@
+"""Unit tests for the ValueGrid (the ordered frequency-value set V)."""
+
+import numpy as np
+import pytest
+
+from repro import ModelValidationError
+from repro.models.values import ValueGrid
+
+
+class TestConstruction:
+    def test_sorted_and_deduplicated(self):
+        grid = ValueGrid([3.0, 1.0, 3.0, 2.0])
+        assert list(grid.values) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_zero_always_present(self):
+        grid = ValueGrid([5.0, 7.0])
+        assert 0.0 in grid
+
+    def test_empty_input_gives_zero_only(self):
+        grid = ValueGrid([])
+        assert list(grid.values) == [0.0]
+        assert len(grid) == 1
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ModelValidationError):
+            ValueGrid([1.0, -2.0])
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(ModelValidationError):
+            ValueGrid([1.0, float("nan")])
+        with pytest.raises(ModelValidationError):
+            ValueGrid([float("inf")])
+
+    def test_rejects_multidimensional_input(self):
+        with pytest.raises(ModelValidationError):
+            ValueGrid(np.ones((2, 2)))
+
+    def test_from_counts(self):
+        grid = ValueGrid.from_counts(3)
+        assert list(grid.values) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ModelValidationError):
+            ValueGrid.from_counts(-1)
+
+    def test_values_are_read_only(self):
+        grid = ValueGrid([1.0])
+        with pytest.raises(ValueError):
+            grid.values[0] = 5.0
+
+
+class TestLookup:
+    def test_index_of_exact(self):
+        grid = ValueGrid([0.5, 1.5, 2.5])
+        assert grid.index_of(1.5) == 2  # after the implicit 0.0
+
+    def test_index_of_with_tolerance(self):
+        grid = ValueGrid([1.0 / 3.0])
+        assert grid.index_of(0.3333333333338) == 1
+
+    def test_find_missing_returns_none(self):
+        grid = ValueGrid([1.0, 2.0])
+        assert grid.find(1.5) is None
+
+    def test_index_of_missing_raises(self):
+        grid = ValueGrid([1.0])
+        with pytest.raises(ModelValidationError):
+            grid.index_of(42.0)
+
+    def test_indices_of_vectorised(self):
+        grid = ValueGrid([1.0, 2.0, 3.0])
+        assert list(grid.indices_of([3.0, 0.0, 2.0])) == [3, 0, 2]
+
+    def test_contains(self):
+        grid = ValueGrid([4.0])
+        assert 4.0 in grid
+        assert 5.0 not in grid
+
+    def test_getitem_and_iteration(self):
+        grid = ValueGrid([2.0, 1.0])
+        assert grid[1] == 1.0
+        assert list(iter(grid)) == [0.0, 1.0, 2.0]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = ValueGrid([1.0, 2.0])
+        b = ValueGrid([2.0, 3.0])
+        assert list(a.union(b).values) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_equality(self):
+        assert ValueGrid([1.0, 2.0]) == ValueGrid([2.0, 1.0, 1.0])
+        assert ValueGrid([1.0]) != ValueGrid([2.0])
+
+    def test_equality_with_other_type(self):
+        assert ValueGrid([1.0]).__eq__(42) is NotImplemented
+
+    def test_repr_mentions_size(self):
+        assert "size=3" in repr(ValueGrid([1.0, 2.0]))

@@ -1,0 +1,130 @@
+"""Possible-world semantics: Example 1 of the paper, reproduced exactly."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.models.worlds import (
+    PossibleWorld,
+    merge_worlds,
+    worlds_expectation,
+    worlds_total_probability,
+)
+
+
+def merged_world_table(model):
+    """Merge enumerated worlds by frequency vector into {tuple: probability}."""
+    return merge_worlds(model.enumerate_worlds())
+
+
+class TestExample1BasicModel:
+    """The twelve possible worlds of the basic-model input (paper, Example 1)."""
+
+    def test_world_probabilities(self, example1_basic):
+        table = merged_world_table(example1_basic)
+        expected = {
+            (0.0, 0.0, 0.0): Fraction(1, 8),
+            (1.0, 0.0, 0.0): Fraction(1, 8),
+            (1.0, 1.0, 0.0): Fraction(5, 48),
+            (1.0, 2.0, 0.0): Fraction(1, 48),
+            (1.0, 1.0, 1.0): Fraction(5, 48),
+            (1.0, 2.0, 1.0): Fraction(1, 48),
+            (1.0, 0.0, 1.0): Fraction(1, 8),
+            (0.0, 1.0, 0.0): Fraction(5, 48),
+            (0.0, 2.0, 0.0): Fraction(1, 48),
+            (0.0, 1.0, 1.0): Fraction(5, 48),
+            (0.0, 2.0, 1.0): Fraction(1, 48),
+            (0.0, 0.0, 1.0): Fraction(1, 8),
+        }
+        assert len(table) == 12
+        for key, probability in expected.items():
+            assert table[key] == pytest.approx(float(probability))
+
+    def test_expected_frequencies_match_paper(self, example1_basic):
+        # E[g_1] = 1/2 and E[g_2] = 7/12 in the paper's (1-indexed) notation.
+        expectations = example1_basic.expected_frequencies()
+        assert expectations[0] == pytest.approx(0.5)
+        assert expectations[1] == pytest.approx(7.0 / 12.0)
+        assert expectations[2] == pytest.approx(0.5)
+
+
+class TestExample1TuplePdfModel:
+    """The eight possible worlds of the tuple-pdf input (paper, Example 1)."""
+
+    def test_world_probabilities(self, example1_tuple):
+        table = merged_world_table(example1_tuple)
+        expected = {
+            (0.0, 0.0, 0.0): Fraction(1, 24),
+            (1.0, 0.0, 0.0): Fraction(1, 8),
+            (0.0, 1.0, 0.0): Fraction(1, 8),
+            (0.0, 0.0, 1.0): Fraction(1, 12),
+            (1.0, 1.0, 0.0): Fraction(1, 8),
+            (1.0, 0.0, 1.0): Fraction(1, 4),
+            (0.0, 2.0, 0.0): Fraction(1, 12),
+            (0.0, 1.0, 1.0): Fraction(1, 6),
+        }
+        assert len(table) == 8
+        for key, probability in expected.items():
+            assert table[key] == pytest.approx(float(probability))
+
+    def test_expected_frequency_of_item_two(self, example1_tuple):
+        assert example1_tuple.expected_frequencies()[1] == pytest.approx(7.0 / 12.0)
+
+
+class TestExample1ValuePdfModel:
+    """The twelve possible worlds of the value-pdf input (paper, Example 1)."""
+
+    def test_world_probabilities(self, example1_value):
+        table = merged_world_table(example1_value)
+        expected = {
+            (0.0, 0.0, 0.0): Fraction(5, 48),
+            (1.0, 0.0, 0.0): Fraction(5, 48),
+            (1.0, 1.0, 0.0): Fraction(1, 12),
+            (1.0, 2.0, 0.0): Fraction(1, 16),
+            (1.0, 1.0, 1.0): Fraction(1, 12),
+            (1.0, 2.0, 1.0): Fraction(1, 16),
+            (1.0, 0.0, 1.0): Fraction(5, 48),
+            (0.0, 1.0, 0.0): Fraction(1, 12),
+            (0.0, 2.0, 0.0): Fraction(1, 16),
+            (0.0, 1.0, 1.0): Fraction(1, 12),
+            (0.0, 2.0, 1.0): Fraction(1, 16),
+            (0.0, 0.0, 1.0): Fraction(5, 48),
+        }
+        assert len(table) == 12
+        for key, probability in expected.items():
+            assert table[key] == pytest.approx(float(probability))
+
+    def test_expected_frequency_of_item_two(self, example1_value):
+        # In the value-pdf reading of Example 1, E[g_2] = 5/6.
+        assert example1_value.expected_frequencies()[1] == pytest.approx(5.0 / 6.0)
+
+
+class TestWorldHelpers:
+    def test_total_probability_is_one(self, example1_basic, example1_tuple, example1_value):
+        for model in (example1_basic, example1_tuple, example1_value):
+            assert worlds_total_probability(model.enumerate_worlds()) == pytest.approx(1.0)
+
+    def test_worlds_expectation_matches_expected_frequencies(self, example1_tuple):
+        worlds = example1_tuple.enumerate_worlds()
+        total = worlds_expectation(worlds, lambda freq: freq.sum())
+        assert total == pytest.approx(example1_tuple.expected_frequencies().sum())
+
+    def test_expectation_over_worlds_method(self, example1_value):
+        value = example1_value.expectation_over_worlds(lambda freq: freq[1] ** 2)
+        # E[g_2^2] = 1/3 + 4 * 1/4 = 4/3 for the value-pdf reading.
+        assert value == pytest.approx(1.0 / 3.0 + 4.0 * 0.25)
+
+    def test_merge_worlds_accumulates(self):
+        worlds = [
+            PossibleWorld(np.array([1.0, 0.0]), 0.25),
+            PossibleWorld(np.array([1.0, 0.0]), 0.25),
+            PossibleWorld(np.array([0.0, 1.0]), 0.5),
+        ]
+        merged = merge_worlds(worlds)
+        assert merged[(1.0, 0.0)] == pytest.approx(0.5)
+        assert merged[(0.0, 1.0)] == pytest.approx(0.5)
+
+    def test_possible_world_key(self):
+        world = PossibleWorld(np.array([1.5, 2.0]), 0.1)
+        assert world.key == (1.5, 2.0)

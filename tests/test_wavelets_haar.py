@@ -1,0 +1,132 @@
+"""Unit tests for the Haar DWT substrate, including the paper's Figure 1 example."""
+
+import numpy as np
+import pytest
+
+from repro import SynopsisError
+from repro.wavelets.haar import (
+    coefficient_level,
+    coefficient_sign,
+    coefficient_support,
+    haar_transform,
+    inverse_haar_transform,
+    leaf_ancestors,
+    next_power_of_two,
+    normalisation_factors,
+    pad_to_power_of_two,
+    reconstruct_leaf,
+)
+
+FIGURE1_DATA = np.array([2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0])
+
+
+class TestPaddingAndFactors:
+    @pytest.mark.parametrize("n, expected", [(0, 1), (1, 1), (2, 2), (3, 4), (8, 8), (9, 16)])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_pad_to_power_of_two(self):
+        padded = pad_to_power_of_two(np.array([1.0, 2.0, 3.0]))
+        assert padded.size == 4 and padded[3] == 0.0
+
+    def test_pad_rejects_matrices(self):
+        with pytest.raises(SynopsisError):
+            pad_to_power_of_two(np.ones((2, 2)))
+
+    def test_normalisation_factors(self):
+        factors = normalisation_factors(8)
+        assert factors[0] == pytest.approx(np.sqrt(8))
+        assert factors[1] == pytest.approx(np.sqrt(8))
+        assert np.allclose(factors[2:4], np.sqrt(4))
+        assert np.allclose(factors[4:8], np.sqrt(2))
+
+    def test_normalisation_rejects_non_power_of_two(self):
+        with pytest.raises(SynopsisError):
+            normalisation_factors(6)
+
+
+class TestTransform:
+    def test_figure1_unnormalised_coefficients(self):
+        # Paper, Figure 1: A = [2,2,0,2,3,5,4,4] gives c0 = 11/4, c1 = -5/4,
+        # c2 = 1/2, c3 = 0, c4 = 0, c5 = -1, c6 = -1, c7 = 0.
+        coefficients = haar_transform(FIGURE1_DATA, normalised=False)
+        expected = [11.0 / 4.0, -5.0 / 4.0, 0.5, 0.0, 0.0, -1.0, -1.0, 0.0]
+        assert np.allclose(coefficients, expected)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=16)
+        for normalised in (True, False):
+            coefficients = haar_transform(data, normalised=normalised)
+            assert np.allclose(inverse_haar_transform(coefficients, normalised=normalised), data)
+
+    def test_round_trip_with_padding(self):
+        data = np.array([5.0, 1.0, 2.0])
+        coefficients = haar_transform(data)
+        reconstructed = inverse_haar_transform(coefficients)
+        assert np.allclose(reconstructed[:3], data)
+        assert reconstructed[3] == pytest.approx(0.0)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=32)
+        coefficients = haar_transform(data, normalised=True)
+        assert np.sum(coefficients ** 2) == pytest.approx(np.sum(data ** 2))
+
+    def test_single_element(self):
+        assert haar_transform(np.array([7.0]))[0] == pytest.approx(7.0)
+
+    def test_inverse_rejects_bad_length(self):
+        with pytest.raises(SynopsisError):
+            inverse_haar_transform(np.ones(6))
+
+    def test_constant_signal_has_single_nonzero_coefficient(self):
+        coefficients = haar_transform(np.full(8, 3.0), normalised=False)
+        assert coefficients[0] == pytest.approx(3.0)
+        assert np.allclose(coefficients[1:], 0.0)
+
+
+class TestErrorTreeGeometry:
+    def test_levels(self):
+        assert coefficient_level(0) == -1
+        assert coefficient_level(1) == 0
+        assert coefficient_level(2) == 1
+        assert coefficient_level(3) == 1
+        assert coefficient_level(4) == 2
+
+    def test_supports(self):
+        assert coefficient_support(0, 8) == (0, 7)
+        assert coefficient_support(1, 8) == (0, 7)
+        assert coefficient_support(2, 8) == (0, 3)
+        assert coefficient_support(3, 8) == (4, 7)
+        assert coefficient_support(7, 8) == (6, 7)
+
+    def test_support_bounds_check(self):
+        with pytest.raises(SynopsisError):
+            coefficient_support(8, 8)
+        with pytest.raises(SynopsisError):
+            coefficient_support(0, 6)
+
+    def test_signs(self):
+        # c3 in Figure 1 covers leaves 4-7: + on 4,5 and - on 6,7.
+        assert coefficient_sign(3, 4, 8) == 1
+        assert coefficient_sign(3, 6, 8) == -1
+        assert coefficient_sign(3, 0, 8) == 0
+        assert coefficient_sign(0, 5, 8) == 1
+
+    def test_leaf_ancestors(self):
+        assert leaf_ancestors(5, 8) == [0, 1, 3, 6]
+        assert leaf_ancestors(0, 8) == [0, 1, 2, 4]
+        with pytest.raises(SynopsisError):
+            leaf_ancestors(8, 8)
+
+    def test_reconstruct_leaf_matches_inverse_transform(self):
+        coefficients = haar_transform(FIGURE1_DATA, normalised=True)
+        sparse = dict(enumerate(coefficients))
+        for leaf in range(8):
+            assert reconstruct_leaf(sparse, leaf, 8) == pytest.approx(FIGURE1_DATA[leaf])
+
+    def test_reconstruct_leaf_with_partial_coefficients(self):
+        coefficients = haar_transform(FIGURE1_DATA, normalised=True)
+        sparse = {0: coefficients[0]}
+        assert reconstruct_leaf(sparse, 3, 8) == pytest.approx(FIGURE1_DATA.mean())
