@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Kernel ablation: wall-clock of every DP kernel, emitted as BENCH_kernels.json.
+
+Unlike the pytest-benchmark figure reproductions, this is a standalone script
+so CI and later PRs can track the kernel-engine speedup trajectory from one
+machine-readable artefact:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--output BENCH_kernels.json]
+
+Two n=2048 configurations are measured:
+
+* **headline** — SSE over a frequency-ranked Zipf value-pdf (the domain
+  ordered by expected frequency, the canonical rank-frequency presentation
+  of Zipf data).  The ordered expectations certify monotone split points, so
+  ``auto`` engages the ``divide_conquer`` fast path (``O(B n log n)``).
+* **fallback** — the same data in shuffled domain order, where the
+  certificate fails and ``auto`` falls back to the ``vectorized`` kernel
+  (``O(B n^2)`` with no Python inner loops).
+
+A small per-metric ablation rides along.  Every timed run is checked to
+return the same optimal error as the exact kernel before its time is
+recorded — a kernel that answered faster but differently would be a bug,
+not a speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.datasets import zipf_value_pdf
+from repro.histograms import make_cost_function, resolve_kernel
+from repro.models.frequency import FrequencyDistributions
+
+#: The acceptance target this benchmark tracks: the engine's best kernel must
+#: beat the exact reference by at least this factor on the headline config.
+TARGET_SPEEDUP = 5.0
+
+KERNELS = ("exact", "vectorized", "divide_conquer")
+
+
+def rank_ordered(distributions: FrequencyDistributions) -> FrequencyDistributions:
+    """The same marginals with the domain reordered by expected frequency."""
+    order = np.argsort(distributions.expectations())[::-1]
+    return FrequencyDistributions(distributions.grid, distributions.probabilities[order])
+
+
+def time_kernel(kernel_name, cost_fn, buckets, reference_error=None):
+    """One timed solve; returns (seconds, optimal_error, resolved_kernel)."""
+    kernel = resolve_kernel(kernel_name, cost_fn)
+    start = time.perf_counter()
+    result = kernel.solve(cost_fn, buckets)
+    seconds = time.perf_counter() - start
+    error = result.optimal_error(min(buckets, cost_fn.domain_size))
+    if reference_error is not None and error != reference_error:
+        raise AssertionError(
+            f"kernel {kernel_name!r} returned {error!r}, exact returned {reference_error!r}"
+        )
+    return seconds, error, kernel.name
+
+
+def run_config(name, cost_fn, buckets, config_info):
+    """Time every kernel on one configuration and summarise the speedups."""
+    print(f"[{name}] {config_info}")
+    reference_seconds, reference_error, _ = time_kernel("exact", cost_fn, buckets)
+    results = {"exact": {"seconds": round(reference_seconds, 4), "resolved_as": "exact"}}
+    print(f"  exact            {reference_seconds:8.3f}s   error = {reference_error:.6g}")
+    for kernel_name in KERNELS[1:]:
+        seconds, _, resolved = time_kernel(kernel_name, cost_fn, buckets, reference_error)
+        results[kernel_name] = {
+            "seconds": round(seconds, 4),
+            "resolved_as": resolved,
+            "speedup_vs_exact": round(reference_seconds / seconds, 2),
+        }
+        note = "" if resolved == kernel_name else f"   (fell back to {resolved})"
+        print(f"  {kernel_name:<16} {seconds:8.3f}s   {reference_seconds / seconds:6.1f}x{note}")
+    auto = resolve_kernel("auto", cost_fn).name
+    best_seconds = min(entry["seconds"] for entry in results.values())
+    return {
+        "name": name,
+        "config": config_info,
+        "kernels": results,
+        "auto_kernel": auto,
+        "optimal_error": reference_error,
+        "best_speedup_vs_exact": round(reference_seconds / best_seconds, 2),
+        "optimal_errors_identical": True,
+    }
+
+
+def metric_ablation(sections):
+    """Small per-metric sweep so regressions in any oracle's path show up."""
+    cumulative_model = zipf_value_pdf(256, skew=1.1, uncertainty=0.4, seed=7)
+    cumulative = rank_ordered(cumulative_model.to_frequency_distributions())
+    for metric in ("sse", "ssre", "sae", "sare"):
+        cost_fn = make_cost_function(cumulative, metric, sanity=1.0)
+        sections.append(
+            run_config(
+                f"ablation/{metric}",
+                cost_fn,
+                16,
+                {"n": 256, "buckets": 16, "metric": metric, "dataset": "zipf rank-ordered"},
+            )
+        )
+    # The max-error envelope costs are far heavier per evaluation; a smaller
+    # domain keeps the exact reference affordable.
+    max_model = zipf_value_pdf(96, skew=1.1, uncertainty=0.4, seed=7)
+    for metric in ("mae", "mare"):
+        cost_fn = make_cost_function(max_model, metric, sanity=1.0)
+        sections.append(
+            run_config(
+                f"ablation/{metric}",
+                cost_fn,
+                8,
+                {"n": 96, "buckets": 8, "metric": metric, "dataset": "zipf"},
+            )
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+        help="where to write the JSON artefact (default: repo root)",
+    )
+    parser.add_argument(
+        "--skip-ablation", action="store_true", help="only run the two n=2048 configurations"
+    )
+    args = parser.parse_args(argv)
+
+    model = zipf_value_pdf(2048, skew=1.1, uncertainty=0.4, seed=42)
+    raw = model.to_frequency_distributions()
+    ranked = rank_ordered(raw)
+
+    headline = run_config(
+        "headline",
+        make_cost_function(ranked, "sse"),
+        32,
+        {
+            "n": 2048,
+            "buckets": 32,
+            "metric": "sse",
+            "model": "value_pdf",
+            "dataset": "zipf (frequency-ranked domain)",
+        },
+    )
+    fallback = run_config(
+        "fallback",
+        make_cost_function(raw, "sse"),
+        32,
+        {
+            "n": 2048,
+            "buckets": 32,
+            "metric": "sse",
+            "model": "value_pdf",
+            "dataset": "zipf (shuffled domain)",
+        },
+    )
+
+    sections = []
+    if not args.skip_ablation:
+        metric_ablation(sections)
+
+    meets_target = headline["best_speedup_vs_exact"] >= TARGET_SPEEDUP
+    payload = {
+        "benchmark": "kernels",
+        "generated_by": "benchmarks/bench_kernels.py",
+        "version": __version__,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "target_speedup_vs_exact": TARGET_SPEEDUP,
+        "meets_target": meets_target,
+        "headline": headline,
+        "fallback": fallback,
+        "metric_ablation": sections,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nheadline speedup {headline['best_speedup_vs_exact']}x "
+        f"(target {TARGET_SPEEDUP}x, {'met' if meets_target else 'MISSED'}); wrote {output}"
+    )
+    return 0 if meets_target else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

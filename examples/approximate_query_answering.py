@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import build_histogram, build_wavelet
+from repro import build_synopsis
 from repro.datasets import generate_tpch_lineitem
 from repro.evaluation import estimates_of
 from repro.histograms import sampled_world_histogram
@@ -41,8 +41,8 @@ def main() -> None:
     model = generate_tpch_lineitem(PARTS, LINEITEMS, seed=3)
     exact = model.expected_frequencies()
 
-    histogram = build_histogram(model, BUCKETS, "sse")
-    wavelet = build_wavelet(model, BUCKETS, "sse")
+    histogram = build_synopsis(model, BUCKETS, metric="sse")
+    wavelet = build_synopsis(model, BUCKETS, synopsis="wavelet", metric="sse")
     sampled = sampled_world_histogram(model, BUCKETS, "sse", rng=np.random.default_rng(3))
 
     synopsis_estimates = {

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import QueryWorkload, build_histogram, expected_error, per_item_expected_errors
+from repro import QueryWorkload, build_synopsis, expected_error, per_item_expected_errors
 from repro.datasets import zipf_value_pdf
 
 DOMAIN = 256
@@ -39,8 +39,8 @@ def main() -> None:
     cold = np.ones(DOMAIN, dtype=bool)
     cold[hot] = False
 
-    oblivious = build_histogram(model, BUCKETS, METRIC)
-    aware = build_histogram(model, BUCKETS, METRIC, workload=workload)
+    oblivious = build_synopsis(model, BUCKETS, metric=METRIC)
+    aware = build_synopsis(model, BUCKETS, metric=METRIC, workload=workload)
 
     def report(name, histogram):
         weighted = expected_error(model, histogram, METRIC, workload=workload)

@@ -29,6 +29,7 @@ from .core import (
     QueryWorkload,
     WaveletSynopsis,
     build_histogram,
+    build_synopsis,
     build_wavelet,
     point_error,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "WaveletSynopsis",
     "QueryWorkload",
     # builders and evaluation
+    "build_synopsis",
     "build_histogram",
     "build_wavelet",
     "expected_error",

@@ -28,7 +28,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .core.builders import build_histogram, build_wavelet
+from .core.builders import build_synopsis
 from .core.metrics import DEFAULT_SANITY, ErrorMetric
 from .datasets import generate_movie_linkage, generate_sensor_readings, generate_tpch_lineitem
 from .evaluation.errors import expected_error
@@ -42,12 +42,14 @@ from .experiments import (
     timing_table,
     wavelet_quality_table,
 )
+from .histograms.kernels import AUTO_KERNEL, available_kernels
 from .io import read_model, read_synopsis, write_model, write_synopsis
 
 __all__ = ["main", "build_parser"]
 
 _METRIC_CHOICES = [metric.value for metric in ErrorMetric]
 _DATASET_CHOICES = ["movies", "tpch", "sensors"]
+_KERNEL_CHOICES = [AUTO_KERNEL, *available_kernels()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact DP or the (1+eps) approximation",
     )
     hist.add_argument("--epsilon", type=float, default=0.1, help="slack for --method approximate")
+    hist.add_argument(
+        "--kernel", choices=_KERNEL_CHOICES, default=AUTO_KERNEL,
+        help="DP kernel for --method optimal (see DESIGN.md); unsuitable "
+        "choices fall back automatically",
+    )
     hist.add_argument(
         "--sse-variant", choices=["fixed", "paper"], default="fixed",
         help="SSE bucket-cost formulation (see DESIGN.md)",
@@ -110,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--sanity", type=float, default=DEFAULT_SANITY)
     experiment.add_argument("--budgets", type=int, nargs="+", default=[5, 10, 20, 40, 80])
     experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument(
+        "--kernel", choices=_KERNEL_CHOICES, default=AUTO_KERNEL,
+        help="DP kernel for the histogram constructions",
+    )
     return parser
 
 
@@ -127,14 +138,17 @@ def _run_experiment(args: argparse.Namespace) -> str:
     model = _make_dataset(args.dataset, args.domain_size, args.seed)
     if args.figure == "figure2":
         result = run_histogram_quality(
-            model, args.metric, args.budgets, sanity=args.sanity, seed=args.seed
+            model, args.metric, args.budgets, sanity=args.sanity, seed=args.seed,
+            kernel=args.kernel,
         )
         return histogram_quality_table(result)
     if args.figure == "figure3":
         sizes = [args.domain_size // 4, args.domain_size // 2, args.domain_size]
-        vs_domain = run_timing_vs_domain(sizes, buckets=min(args.budgets), metric=args.metric)
+        vs_domain = run_timing_vs_domain(
+            sizes, buckets=min(args.budgets), metric=args.metric, kernel=args.kernel
+        )
         vs_buckets = run_timing_vs_buckets(
-            args.budgets, domain_size=args.domain_size, metric=args.metric
+            args.budgets, domain_size=args.domain_size, metric=args.metric, kernel=args.kernel
         )
         return timing_table(vs_domain) + "\n\n" + timing_table(vs_buckets)
     result = run_wavelet_quality(model, args.budgets, seed=args.seed)
@@ -148,12 +162,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "build-histogram":
             model = read_model(args.input)
-            histogram = build_histogram(
+            histogram = build_synopsis(
                 model,
-                buckets=args.buckets,
+                args.buckets,
+                synopsis="histogram",
                 metric=args.metric,
                 sanity=args.sanity,
                 method=args.method,
+                kernel=args.kernel,
                 epsilon=args.epsilon,
                 sse_variant=args.sse_variant,
             )
@@ -165,8 +181,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         elif args.command == "build-wavelet":
             model = read_model(args.input)
-            synopsis = build_wavelet(
-                model, coefficients=args.coefficients, metric=args.metric, sanity=args.sanity
+            synopsis = build_synopsis(
+                model, args.coefficients, synopsis="wavelet",
+                metric=args.metric, sanity=args.sanity,
             )
             write_synopsis(synopsis, args.output)
             error = expected_error(model, synopsis, args.metric, sanity=args.sanity)

@@ -1,6 +1,6 @@
 """Core abstractions: error metrics, synopsis value objects and top-level builders."""
 
-from .builders import build_histogram, build_wavelet
+from .builders import build_histogram, build_synopsis, build_wavelet
 from .histogram import Bucket, Histogram
 from .metrics import (
     DEFAULT_SANITY,
@@ -28,6 +28,7 @@ __all__ = [
     "Bucket",
     "Histogram",
     "WaveletSynopsis",
+    "build_synopsis",
     "build_histogram",
     "build_wavelet",
 ]

@@ -1,17 +1,20 @@
 """Top-level synopsis builders: the package's main entry points.
 
-``build_histogram`` and ``build_wavelet`` tie together the data models, the
-per-metric cost oracles / thresholding schemes and the synopsis value
-objects.  They accept any probabilistic model (or precomputed per-item
-marginals, or a plain deterministic frequency vector) and return a
-:class:`~repro.core.histogram.Histogram` or
-:class:`~repro.core.wavelet.WaveletSynopsis` ready for estimation and
-evaluation.
+:func:`build_synopsis` is the single front door for synopsis construction:
+one call covering histograms *and* wavelets under one configuration (data,
+budget, metric, construction method, DP kernel, approximation slack,
+workload).  It accepts any probabilistic model (or precomputed per-item
+marginals, or a plain deterministic frequency vector), accepts either one
+budget or a whole budget sweep (sharing a single DP run across the sweep),
+and returns :class:`~repro.core.histogram.Histogram` /
+:class:`~repro.core.wavelet.WaveletSynopsis` objects ready for estimation
+and evaluation.  :func:`build_histogram` and :func:`build_wavelet` are thin
+single-kind wrappers kept for convenience and backwards compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -22,9 +25,13 @@ from .histogram import Histogram
 from .metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from .wavelet import WaveletSynopsis
 
-__all__ = ["build_histogram", "build_wavelet"]
+__all__ = ["build_synopsis", "build_histogram", "build_wavelet"]
 
 DataLike = Union[ProbabilisticModel, FrequencyDistributions, np.ndarray, Sequence[float]]
+Synopsis = Union[Histogram, WaveletSynopsis]
+
+_SYNOPSIS_KINDS = ("histogram", "wavelet")
+_HISTOGRAM_METHODS = ("optimal", "approximate")
 
 
 def _as_data(data: DataLike) -> Union[ProbabilisticModel, FrequencyDistributions]:
@@ -40,18 +47,31 @@ def _as_data(data: DataLike) -> Union[ProbabilisticModel, FrequencyDistributions
     return FrequencyDistributions.deterministic(array)
 
 
-def build_histogram(
+def _as_budget(value) -> int:
+    """Coerce one budget entry, rejecting non-integral values loudly.
+
+    A float budget is almost always a bug (``n / 4`` in the caller); silently
+    truncating it would hand back a smaller synopsis than asked for.
+    """
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return int(value)
+    raise SynopsisError(f"the budget must be an integer, got {value!r}")
+
+
+def build_synopsis(
     data: DataLike,
-    buckets: int,
-    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    budget: Union[int, Sequence[int]],
     *,
+    synopsis: str = "histogram",
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
     sanity: float = DEFAULT_SANITY,
     method: str = "optimal",
+    kernel: str = "auto",
     epsilon: float = 0.1,
     sse_variant: str = "fixed",
     workload=None,
-) -> Histogram:
-    """Build a ``buckets``-bucket histogram synopsis of probabilistic data.
+) -> Union[Synopsis, List[Synopsis]]:
+    """Build a histogram or wavelet synopsis of probabilistic data.
 
     Parameters
     ----------
@@ -59,8 +79,13 @@ def build_histogram(
         A probabilistic model (basic / tuple-pdf / value-pdf), precomputed
         :class:`FrequencyDistributions`, or a plain deterministic frequency
         vector.
-    buckets:
-        The space budget ``B`` (number of buckets).
+    budget:
+        The space budget — bucket count for histograms, retained-coefficient
+        count for wavelets.  A sequence of budgets returns one synopsis per
+        budget; for optimal histograms the whole sweep is served by a single
+        dynamic-program run (``B`` times cheaper than building one by one).
+    synopsis:
+        ``"histogram"`` (default) or ``"wavelet"``.
     metric:
         Error objective; one of the :class:`ErrorMetric` members or their
         lower-case names.  Cumulative metrics minimise the expected total
@@ -68,9 +93,15 @@ def build_histogram(
     sanity:
         Sanity constant ``c`` for the relative metrics.
     method:
-        ``"optimal"`` runs the exact dynamic program (``O(B n^2)`` bucket
-        evaluations); ``"approximate"`` runs the ``(1 + epsilon)``
-        approximation of Section 3.5 (cumulative metrics only).
+        Histograms only: ``"optimal"`` runs the exact dynamic program,
+        ``"approximate"`` the ``(1 + epsilon)`` scheme of Section 3.5
+        (cumulative metrics only).
+    kernel:
+        Optimal histograms only: which DP kernel solves the recurrence —
+        ``"auto"`` (default; fastest kernel the cost oracle certifies),
+        ``"exact"``, ``"vectorized"`` or ``"divide_conquer"``.  Unsuitable
+        explicit choices fall back automatically, so the kernel never
+        changes the optimum, only the speed.
     epsilon:
         Approximation slack for ``method="approximate"``.
     sse_variant:
@@ -82,21 +113,112 @@ def build_histogram(
         the workload-weighted objective — the extension sketched in the
         paper's concluding remarks.
     """
-    from ..histograms.approx import approximate_histogram
-    from ..histograms.dp import optimal_histogram
-    from ..histograms.factory import make_cost_function
-
-    if buckets < 1:
-        raise SynopsisError("the bucket budget must be at least 1")
+    if synopsis not in _SYNOPSIS_KINDS:
+        raise SynopsisError(
+            f"unknown synopsis kind {synopsis!r}; expected one of {_SYNOPSIS_KINDS}"
+        )
     spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
-    cost_fn = make_cost_function(
-        _as_data(data), spec, sse_variant=sse_variant, workload=workload
-    )
-    if method == "optimal":
-        return optimal_histogram(cost_fn, buckets)
+    single = np.isscalar(budget) or isinstance(budget, (int, np.integer))
+    budgets = [_as_budget(budget)] if single else [_as_budget(b) for b in budget]
+    if not budgets:
+        return []
+    normalised = _as_data(data)
+
+    if synopsis == "wavelet":
+        results: List[Synopsis] = [
+            _build_wavelet(normalised, b, spec, workload) for b in budgets
+        ]
+    else:
+        results = _build_histograms(
+            normalised, budgets, spec,
+            method=method, kernel=kernel, epsilon=epsilon,
+            sse_variant=sse_variant, workload=workload,
+        )
+    return results[0] if single else results
+
+
+def _build_histograms(
+    data: Union[ProbabilisticModel, FrequencyDistributions],
+    budgets: List[int],
+    spec: MetricSpec,
+    *,
+    method: str,
+    kernel: str,
+    epsilon: float,
+    sse_variant: str,
+    workload,
+) -> List[Synopsis]:
+    from ..histograms.approx import approximate_histogram
+    from ..histograms.factory import make_cost_function, solve_histogram_dp
+
+    if method not in _HISTOGRAM_METHODS:
+        raise SynopsisError(
+            f"unknown construction method {method!r}; expected 'optimal' or 'approximate'"
+        )
+    if any(b < 1 for b in budgets):
+        raise SynopsisError("the bucket budget must be at least 1")
     if method == "approximate":
-        return approximate_histogram(cost_fn, buckets, epsilon)
-    raise SynopsisError(f"unknown construction method {method!r}; expected 'optimal' or 'approximate'")
+        cost_fn = make_cost_function(data, spec, sse_variant=sse_variant, workload=workload)
+        return [approximate_histogram(cost_fn, b, epsilon) for b in budgets]
+    dp = solve_histogram_dp(
+        data, spec, max(budgets), kernel=kernel, sse_variant=sse_variant, workload=workload
+    )
+    return [dp.histogram(min(b, dp.max_buckets)) for b in budgets]
+
+
+def _build_wavelet(
+    data: Union[ProbabilisticModel, FrequencyDistributions],
+    coefficients: int,
+    spec: MetricSpec,
+    workload,
+) -> WaveletSynopsis:
+    """One wavelet synopsis: SSE thresholding or the restricted-tree DP.
+
+    For the SSE metric this is the ``O(n)`` optimal thresholding of the
+    expected coefficients (Theorem 7).  For the other metrics the restricted
+    coefficient-tree dynamic program is used (Theorem 8).  With a workload
+    the greedy SSE argument no longer applies, so every metric is routed
+    through the restricted DP with workload-weighted leaf errors.
+    """
+    from ..wavelets.nonsse import restricted_wavelet_synopsis
+    from ..wavelets.sse import sse_optimal_wavelet
+
+    if coefficients < 0:
+        raise SynopsisError("the coefficient budget must be non-negative")
+    if spec.metric is ErrorMetric.SSE and workload is None:
+        return sse_optimal_wavelet(data, coefficients)
+    return restricted_wavelet_synopsis(data, coefficients, spec, workload=workload)
+
+
+def build_histogram(
+    data: DataLike,
+    buckets: int,
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    *,
+    sanity: float = DEFAULT_SANITY,
+    method: str = "optimal",
+    kernel: str = "auto",
+    epsilon: float = 0.1,
+    sse_variant: str = "fixed",
+    workload=None,
+) -> Histogram:
+    """Build a ``buckets``-bucket histogram synopsis of probabilistic data.
+
+    Thin wrapper over :func:`build_synopsis` with ``synopsis="histogram"``;
+    see there for the parameters.
+    """
+    return build_synopsis(
+        data,
+        buckets,
+        synopsis="histogram",
+        metric=metric,
+        sanity=sanity,
+        method=method,
+        kernel=kernel,
+        epsilon=epsilon,
+        sse_variant=sse_variant,
+        workload=workload,
+    )
 
 
 def build_wavelet(
@@ -109,22 +231,14 @@ def build_wavelet(
 ) -> WaveletSynopsis:
     """Build a ``coefficients``-term Haar wavelet synopsis of probabilistic data.
 
-    For the SSE metric this is the ``O(n)`` optimal thresholding of the
-    expected coefficients (Theorem 7).  For the other metrics the restricted
-    coefficient-tree dynamic program is used (Theorem 8): retained
-    coefficients keep their expected values and the DP selects the best set.
-
-    With a ``workload`` (per-item query weights) the greedy SSE argument no
-    longer applies, so every metric — including SSE — is routed through the
-    restricted dynamic program with workload-weighted leaf errors.
+    Thin wrapper over :func:`build_synopsis` with ``synopsis="wavelet"``;
+    see there for the parameters.
     """
-    from ..wavelets.nonsse import restricted_wavelet_synopsis
-    from ..wavelets.sse import sse_optimal_wavelet
-
-    if coefficients < 0:
-        raise SynopsisError("the coefficient budget must be non-negative")
-    spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
-    normalised = _as_data(data)
-    if spec.metric is ErrorMetric.SSE and workload is None:
-        return sse_optimal_wavelet(normalised, coefficients)
-    return restricted_wavelet_synopsis(normalised, coefficients, spec, workload=workload)
+    return build_synopsis(
+        data,
+        coefficients,
+        synopsis="wavelet",
+        metric=metric,
+        sanity=sanity,
+        workload=workload,
+    )

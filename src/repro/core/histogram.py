@@ -57,7 +57,7 @@ class Histogram:
         The size ``n`` of the ordered domain.
     """
 
-    __slots__ = ("_buckets", "_domain_size")
+    __slots__ = ("_buckets", "_domain_size", "_starts", "_ends", "_reps", "_prefix_mass")
 
     def __init__(self, buckets: Iterable[Bucket], domain_size: int):
         bucket_list = list(buckets)
@@ -79,6 +79,14 @@ class Histogram:
             )
         self._buckets = tuple(bucket_list)
         self._domain_size = int(domain_size)
+        # Cached lookup arrays: estimation is the hot read path, so item ->
+        # bucket resolution and range sums must not rebuild per-bucket lists
+        # per query.  _prefix_mass[k] = total estimated mass of buckets < k.
+        self._starts = np.array([b.start for b in bucket_list], dtype=np.int64)
+        self._ends = np.array([b.end for b in bucket_list], dtype=np.int64)
+        self._reps = np.array([b.representative for b in bucket_list], dtype=float)
+        widths = self._ends - self._starts + 1
+        self._prefix_mass = np.concatenate([[0.0], np.cumsum(self._reps * widths)])
 
     # ------------------------------------------------------------------
     # Introspection
@@ -105,8 +113,8 @@ class Histogram:
 
     @property
     def representatives(self) -> np.ndarray:
-        """The bucket representative values, in bucket order."""
-        return np.array([b.representative for b in self._buckets], dtype=float)
+        """The bucket representative values, in bucket order (a copy)."""
+        return self._reps.copy()
 
     def __len__(self) -> int:
         return self.bucket_count
@@ -133,8 +141,7 @@ class Histogram:
         """The bucket containing ``item``."""
         if not 0 <= item < self._domain_size:
             raise SynopsisError(f"item {item} outside the domain [0, {self._domain_size})")
-        starts = [b.start for b in self._buckets]
-        idx = int(np.searchsorted(starts, item, side="right")) - 1
+        idx = int(np.searchsorted(self._starts, item, side="right")) - 1
         return self._buckets[idx]
 
     def estimate(self, item: int) -> float:
@@ -143,16 +150,15 @@ class Histogram:
 
     def estimates(self) -> np.ndarray:
         """The full vector of approximate frequencies ``ĝ``, length ``n``."""
-        out = np.empty(self._domain_size, dtype=float)
-        for bucket in self._buckets:
-            out[bucket.start : bucket.end + 1] = bucket.representative
-        return out
+        return np.repeat(self._reps, self._ends - self._starts + 1)
 
     def range_sum_estimate(self, start: int, end: int) -> float:
         """Estimated sum of frequencies over the inclusive item range ``[start, end]``.
 
         This is the classic approximate-query-processing use of a histogram:
         each bucket contributes its representative times the overlap width.
+        Resolved in ``O(log B)`` from the cached bucket-start index and the
+        prefix-mass array rather than by scanning every bucket.
         """
         if end < start:
             return 0.0
@@ -160,13 +166,15 @@ class Histogram:
             raise SynopsisError(
                 f"range [{start}, {end}] outside the domain [0, {self._domain_size})"
             )
-        total = 0.0
-        for bucket in self._buckets:
-            lo = max(start, bucket.start)
-            hi = min(end, bucket.end)
-            if lo <= hi:
-                total += bucket.representative * (hi - lo + 1)
-        return total
+        lo = int(np.searchsorted(self._starts, start, side="right")) - 1
+        hi = int(np.searchsorted(self._starts, end, side="right")) - 1
+        if lo == hi:
+            return float(self._reps[lo] * (end - start + 1))
+        # Partial first and last buckets plus the full buckets in between.
+        total = self._reps[lo] * (self._ends[lo] - start + 1)
+        total += self._reps[hi] * (end - self._starts[hi] + 1)
+        total += self._prefix_mass[hi] - self._prefix_mass[lo + 1]
+        return float(total)
 
     # ------------------------------------------------------------------
     # Construction helpers / serialisation

@@ -24,13 +24,14 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core.builders import build_synopsis
 from ..core.histogram import Histogram
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from ..evaluation.errors import expected_error, normalised_error_percentage
 from ..exceptions import EvaluationError
-from ..histograms.deterministic import deterministic_cost_function
-from ..histograms.dp import histogram_from_boundaries, solve_dynamic_program
+from ..histograms.dp import histogram_from_boundaries
 from ..histograms.factory import make_cost_function
+from ..histograms.kernels import AUTO_KERNEL
 from ..models.base import ProbabilisticModel
 
 __all__ = ["QualityCurve", "HistogramQualityResult", "run_histogram_quality"]
@@ -103,8 +104,13 @@ def run_histogram_quality(
     sample_count: int = 3,
     seed: Optional[int] = None,
     sse_variant: str = "fixed",
+    kernel: str = AUTO_KERNEL,
 ) -> HistogramQualityResult:
     """Run one Figure 2 sub-experiment and return all method curves.
+
+    Every construction goes through the unified
+    :func:`~repro.core.builders.build_synopsis` entry point; passing the
+    whole budget sweep at once lets one DP run serve every budget.
 
     Parameters
     ----------
@@ -120,6 +126,8 @@ def run_histogram_quality(
         Seed for the world sampling.
     sse_variant:
         SSE construction variant for the probabilistic method.
+    kernel:
+        DP kernel for all histogram constructions.
     """
     spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
     if not spec.cumulative:
@@ -128,41 +136,39 @@ def run_histogram_quality(
     if not budgets:
         raise EvaluationError("at least one bucket budget is required")
     rng = np.random.default_rng(seed)
+    # Budget 1 rides along in every sweep: it anchors the normalisation.
+    sweep = sorted({1, *budgets})
 
-    # Probabilistic construction: one DP run serves every budget.
-    cost_fn = make_cost_function(model, spec, sse_variant=sse_variant)
-    dp = solve_dynamic_program(cost_fn, max(budgets))
-    probabilistic = [dp.histogram(min(b, model.domain_size)) for b in budgets]
+    def build_curve(data) -> Dict[int, Histogram]:
+        built = build_synopsis(
+            data, sweep, synopsis="histogram", metric=spec,
+            kernel=kernel, sse_variant=sse_variant,
+        )
+        return dict(zip(sweep, built))
+
+    # Probabilistic construction: the paper's optimal DP (Section 3).
+    probabilistic = build_curve(model)
 
     # Normalisation anchors: 1-bucket (worst) and n-bucket (best) histograms.
-    max_error = expected_error(model, dp.histogram(1), spec)
+    cost_fn = make_cost_function(model, spec, sse_variant=sse_variant)
+    max_error = expected_error(model, probabilistic[1], spec)
     min_error = expected_error(model, _singleton_histogram(cost_fn), spec)
 
+    def add_curve(name: str, by_budget: Dict[int, Histogram]) -> None:
+        histograms = [by_budget[b] for b in budgets]
+        curves[name] = _curve_from_histograms(
+            name, model, histograms, budgets, spec, min_error, max_error
+        )
+
     curves: Dict[str, QualityCurve] = {}
-    curves["probabilistic"] = _curve_from_histograms(
-        "probabilistic", model, probabilistic, budgets, spec, min_error, max_error
-    )
+    add_curve("probabilistic", probabilistic)
 
     # Expectation baseline: deterministic DP over the expected frequencies.
-    expectation_cost = deterministic_cost_function(
-        model.expected_frequencies(), spec, sanity=spec.sanity
-    )
-    expectation_dp = solve_dynamic_program(expectation_cost, max(budgets))
-    expectation = [expectation_dp.histogram(min(b, model.domain_size)) for b in budgets]
-    curves["expectation"] = _curve_from_histograms(
-        "expectation", model, expectation, budgets, spec, min_error, max_error
-    )
+    add_curve("expectation", build_curve(model.expected_frequencies()))
 
     # Sampled-world baselines: deterministic DP over each sampled world.
     for sample_index in range(max(sample_count, 0)):
-        world = model.sample_world(rng)
-        world_cost = deterministic_cost_function(world, spec, sanity=spec.sanity)
-        world_dp = solve_dynamic_program(world_cost, max(budgets))
-        sampled = [world_dp.histogram(min(b, model.domain_size)) for b in budgets]
-        name = f"sampled_world_{sample_index + 1}"
-        curves[name] = _curve_from_histograms(
-            name, model, sampled, budgets, spec, min_error, max_error
-        )
+        add_curve(f"sampled_world_{sample_index + 1}", build_curve(model.sample_world(rng)))
 
     return HistogramQualityResult(
         metric=spec.describe(),

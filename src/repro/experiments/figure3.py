@@ -6,7 +6,9 @@ bucket budget ``B`` (with ``n`` fixed), observing a near-quadratic dependence
 on ``n`` and a linear dependence on ``B`` — the ``O(B n^2)`` bound.  The same
 measurement is reproduced here on the pure-Python/NumPy implementation;
 absolute times differ from the paper's C code, but the scaling shape is the
-reproduced quantity (EXPERIMENTS.md records both).
+reproduced quantity (EXPERIMENTS.md records both).  A ``kernel`` argument
+selects the DP solver, so the same harness also measures the engine's other
+kernels (``kernel="exact"`` reproduces the paper's sweep).
 """
 
 from __future__ import annotations
@@ -15,10 +17,10 @@ import dataclasses
 import time
 from typing import Callable, List, Optional, Sequence, Union
 
+from ..core.builders import build_synopsis
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from ..datasets.movies import generate_movie_linkage
-from ..histograms.dp import solve_dynamic_program
-from ..histograms.factory import make_cost_function
+from ..histograms.kernels import AUTO_KERNEL
 from ..models.base import ProbabilisticModel
 
 __all__ = ["TimingPoint", "TimingResult", "run_timing_vs_domain", "run_timing_vs_buckets"]
@@ -50,10 +52,11 @@ class TimingResult:
         return all(b >= a * 0.5 for a, b in zip(seconds, seconds[1:]))
 
 
-def _time_construction(model: ProbabilisticModel, spec: MetricSpec, buckets: int) -> float:
+def _time_construction(
+    model: ProbabilisticModel, spec: MetricSpec, buckets: int, kernel: str
+) -> float:
     start = time.perf_counter()
-    cost_fn = make_cost_function(model, spec)
-    solve_dynamic_program(cost_fn, buckets)
+    build_synopsis(model, buckets, synopsis="histogram", metric=spec, kernel=kernel)
     return time.perf_counter() - start
 
 
@@ -65,6 +68,7 @@ def run_timing_vs_domain(
     sanity: float = DEFAULT_SANITY,
     model_factory: Optional[Callable[[int], ProbabilisticModel]] = None,
     seed: Optional[int] = 7,
+    kernel: str = AUTO_KERNEL,
 ) -> TimingResult:
     """Construction time as the domain size grows (Figure 3(a) analogue)."""
     spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
@@ -72,7 +76,7 @@ def run_timing_vs_domain(
     points = []
     for n in domain_sizes:
         model = factory(int(n))
-        seconds = _time_construction(model, spec, buckets)
+        seconds = _time_construction(model, spec, buckets, kernel)
         points.append(TimingPoint(domain_size=int(n), buckets=buckets, seconds=seconds))
     return TimingResult(swept="domain_size", metric=spec.describe(), points=points)
 
@@ -85,6 +89,7 @@ def run_timing_vs_buckets(
     sanity: float = DEFAULT_SANITY,
     model_factory: Optional[Callable[[int], ProbabilisticModel]] = None,
     seed: Optional[int] = 7,
+    kernel: str = AUTO_KERNEL,
 ) -> TimingResult:
     """Construction time as the bucket budget grows (Figure 3(b) analogue)."""
     spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
@@ -92,7 +97,7 @@ def run_timing_vs_buckets(
     model = factory(int(domain_size))
     points = []
     for buckets in bucket_budgets:
-        seconds = _time_construction(model, spec, int(buckets))
+        seconds = _time_construction(model, spec, int(buckets), kernel)
         points.append(
             TimingPoint(domain_size=int(domain_size), buckets=int(buckets), seconds=seconds)
         )

@@ -1,12 +1,16 @@
 """Histogram synopses on probabilistic data (Section 3 of the paper).
 
-The subpackage is organised around a single abstraction: a *bucket-cost
-oracle* (:class:`BucketCostFunction`) that answers "what is the optimal cost
-and representative of a bucket spanning ``[s, e]``" in (near) constant time
-from precomputed prefix arrays.  One oracle exists per error metric; the
-generic dynamic program (:func:`optimal_histogram`), its budget-sweeping
-variant, and the ``(1+eps)`` approximate construction all work against that
-interface, as do the deterministic substrate and the naive baselines.
+The subpackage is organised around two abstractions.  A *bucket-cost oracle*
+(:class:`BucketCostFunction`) answers "what is the optimal cost and
+representative of a bucket spanning ``[s, e]``" — batched over arbitrary
+span vectors — from precomputed prefix arrays; one oracle exists per error
+metric.  A *DP kernel* (:mod:`repro.histograms.kernels`) sweeps the
+bucket-boundary recurrence against that batch interface; the registry holds
+interchangeable kernels (``exact``, ``vectorized``, ``divide_conquer``) that
+differ only in speed, never in the optimum.  The generic dynamic program
+(:func:`optimal_histogram`), its budget-sweeping variant, and the
+``(1+eps)`` approximate construction all work against these interfaces, as
+do the deterministic substrate and the naive baselines.
 """
 
 from .absolute import WeightedAbsoluteCost
@@ -28,7 +32,17 @@ from .dp import (
     optimal_histograms_for_budgets,
     solve_dynamic_program,
 )
-from .factory import make_cost_function
+from .factory import make_cost_function, solve_histogram_dp
+from .kernels import (
+    DivideConquerKernel,
+    DPKernel,
+    ExactKernel,
+    VectorizedKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
 from .max_error import MaxAbsoluteCost, MaxAbsoluteRelativeCost
 from .sae import SaeCost
 from .sare import SareCost
@@ -37,6 +51,15 @@ from .ssre import SsreCost
 
 __all__ = [
     "BucketCostFunction",
+    "DPKernel",
+    "ExactKernel",
+    "VectorizedKernel",
+    "DivideConquerKernel",
+    "register_kernel",
+    "get_kernel",
+    "resolve_kernel",
+    "available_kernels",
+    "solve_histogram_dp",
     "SseCost",
     "SsreCost",
     "SaeCost",

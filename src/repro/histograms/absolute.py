@@ -80,6 +80,22 @@ class WeightedAbsoluteCost(BucketCostFunction):
         self._values = values
         self._n = n
         self._k = k
+        # Each batched span evaluation materialises one row of k value
+        # columns; the kernels use this to size their batches.
+        self.batch_cost_columns = max(int(k), 1)
+
+        # The pooled-median cost has monotone DP split points (the concave
+        # quadrangle inequality) when the items' weight distributions over
+        # the value grid form a first-order stochastic dominance chain —
+        # i.e. the normalised cumulative weight profiles of consecutive
+        # (positive-mass) items are ordered the same way everywhere.  For
+        # deterministic data this reduces to "the frequencies are sorted".
+        totals = weights.sum(axis=1)
+        active = value_cum_w[totals > 0.0] / totals[totals > 0.0, None]
+        steps = np.diff(active, axis=0)
+        self.supports_monotone_splits = bool(
+            np.all(steps >= -1e-12) or np.all(steps <= 1e-12)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -139,17 +155,16 @@ class WeightedAbsoluteCost(BucketCostFunction):
         return max(float(best_cost), 0.0), best_value
 
     # ------------------------------------------------------------------
-    # Vectorised evaluation for the DP inner loop
+    # Vectorised evaluation for the DP kernels
     # ------------------------------------------------------------------
-    def costs_for_starts(self, starts: np.ndarray, end: int) -> np.ndarray:
+    def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         starts = np.asarray(starts, dtype=np.int64)
-        below_w = self._below_weight[end + 1][None, :] - self._below_weight[starts]
-        below_wv = (
-            self._below_weighted_value[end + 1][None, :] - self._below_weighted_value[starts]
-        )
-        total_w = self._prefix_total_weight[end + 1] - self._prefix_total_weight[starts]
+        ends = np.asarray(ends, dtype=np.int64)
+        below_w = self._below_weight[ends + 1] - self._below_weight[starts]
+        below_wv = self._below_weighted_value[ends + 1] - self._below_weighted_value[starts]
+        total_w = self._prefix_total_weight[ends + 1] - self._prefix_total_weight[starts]
         total_wv = (
-            self._prefix_total_weighted_value[end + 1]
+            self._prefix_total_weighted_value[ends + 1]
             - self._prefix_total_weighted_value[starts]
         )
         # Weighted-median index per start (first column reaching half the total).

@@ -17,7 +17,6 @@ metrics (SSE, SSRE, SAE, SARE); maximum-error metrics keep the exact DP.
 
 from __future__ import annotations
 
-import math
 from typing import List, Tuple
 
 import numpy as np
@@ -80,8 +79,11 @@ def approximate_boundaries(
     buckets = max(1, min(buckets, n))
     delta = epsilon / (2.0 * buckets)
 
-    # Row 1: exact prefix costs of a single bucket.
-    errors = np.array([cost_fn.cost(0, j) for j in range(n)], dtype=float)
+    # Row 1: exact prefix costs of a single bucket, in one batch oracle call.
+    ends = np.arange(n, dtype=np.int64)
+    errors = np.asarray(
+        cost_fn.costs_for_spans(np.zeros(n, dtype=np.int64), ends), dtype=float
+    )
     parents: List[np.ndarray] = [np.full(n, -1, dtype=np.int64)]
 
     for _ in range(1, buckets):

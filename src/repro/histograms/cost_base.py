@@ -9,9 +9,13 @@ prefix arrays.
 
 :class:`BucketCostFunction` is that oracle interface.  Concrete subclasses
 (:class:`~repro.histograms.sse.SseCost`, :class:`~repro.histograms.ssre.SsreCost`,
-the SAE/SARE/MAE/MARE oracles) implement :meth:`cost_and_representative` and,
-when possible, the vectorised :meth:`costs_for_starts` used by the inner DP
-loop.
+the SAE/SARE/MAE/MARE oracles) implement :meth:`cost_and_representative` and
+the batch :meth:`costs_for_spans`, which evaluates an arbitrary vector of
+``(start, end)`` spans in one shot.  The batch call is the contract the DP
+kernels (:mod:`repro.histograms.kernels`) are written against: the exact row
+sweep asks for all spans sharing one end, the vectorised kernel asks for the
+whole lower-triangular cost matrix, and the divide-and-conquer kernel asks
+for one ragged batch per recursion level.
 """
 
 from __future__ import annotations
@@ -41,6 +45,21 @@ class BucketCostFunction(abc.ABC):
     #: How bucket costs combine into the histogram objective.
     aggregation: str = "sum"
 
+    #: Whether the bucket cost satisfies the concave quadrangle inequality
+    #: ``cost(a, c) + cost(b, d) <= cost(a, d) + cost(b, c)`` for
+    #: ``a <= b <= c <= d``, which makes the optimal split points of the DP
+    #: monotone in the prefix end.  True for the additive metrics (weighted
+    #: variance for SSE/SSRE, weighted median for SAE/SARE); oracles whose
+    #: costs carry cross-item correction terms (the paper-variant SSE) set it
+    #: to False so the divide-and-conquer kernel is not applied to them.
+    supports_monotone_splits: bool = True
+
+    #: Rough number of per-value columns a single span evaluation touches in
+    #: :meth:`costs_for_spans` (1 for prefix-array oracles, the value-grid
+    #: size for the pooled-median oracles).  Kernels use it to size batches
+    #: so that one call stays within a bounded memory footprint.
+    batch_cost_columns: int = 1
+
     # ------------------------------------------------------------------
     @property
     @abc.abstractmethod
@@ -66,14 +85,29 @@ class BucketCostFunction(abc.ABC):
         """Optimal representative value of the bucket ``[start, end]``."""
         return self.cost_and_representative(start, end)[1]
 
+    def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Optimal costs of the buckets ``[starts[i], ends[i]]``, pairwise.
+
+        This is the batch interface the DP kernels are written against:
+        ``starts`` and ``ends`` are equal-length integer arrays and the result
+        holds one cost per span.  Oracles backed by prefix arrays override it
+        with a fully vectorised implementation; the default loops (kept only
+        as a reference semantics for custom oracles).
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        return np.array(
+            [self.cost(int(s), int(e)) for s, e in zip(starts, ends)], dtype=float
+        )
+
     def costs_for_starts(self, starts: np.ndarray, end: int) -> np.ndarray:
         """Optimal costs of all buckets ``[start, end]`` for the given starts.
 
-        The dynamic program calls this once per (row, prefix-end) pair; cost
-        oracles backed by prefix arrays override it with a fully vectorised
-        implementation.  The default simply loops.
+        Convenience wrapper over :meth:`costs_for_spans` for the common
+        "all spans share one end" shape of the exact DP's inner loop.
         """
-        return np.array([self.cost(int(s), end) for s in starts], dtype=float)
+        starts = np.asarray(starts, dtype=np.int64)
+        return self.costs_for_spans(starts, np.full(starts.shape, end, dtype=np.int64))
 
     def total_cost(self, boundaries) -> float:
         """Objective value of an explicit bucketing (list of ``(start, end)`` spans)."""

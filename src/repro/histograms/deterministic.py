@@ -21,7 +21,7 @@ from ..core.histogram import Bucket, Histogram
 from ..core.metrics import ErrorMetric, MetricSpec
 from ..exceptions import SynopsisError
 from ..models.frequency import FrequencyDistributions
-from .dp import histogram_from_boundaries, optimal_histogram
+from .dp import optimal_histogram
 from .factory import make_cost_function
 
 __all__ = [

@@ -8,140 +8,52 @@ optimal ``(B-1)``-bucket histogram of the prefix ``[0, i]``.  The recurrence
     OPT[j, b] = min_{i < j} h(OPT[i, b-1], BERR(i+1, j))
 
 with ``h = +`` for cumulative and ``h = max`` for maximum error objectives
-therefore finds the optimum with ``O(B n^2)`` bucket-cost evaluations.  The
-bucket-cost oracle (:class:`~repro.histograms.cost_base.BucketCostFunction`)
-answers each evaluation in (near) constant time from precomputed arrays, and
-its vectorised ``costs_for_starts`` lets the inner minimisation run as a
-single NumPy expression.
+therefore finds the optimum exactly.  *How* the recurrence is swept is
+delegated to a pluggable kernel (:mod:`repro.histograms.kernels`): the
+``exact`` reference row sweep, the ``vectorized`` whole-row broadcast, or the
+``divide_conquer`` monotone split-point scheme — all exact, differing only in
+speed.  Every function here accepts a ``kernel`` name (default ``"auto"``,
+which picks the fastest kernel suitable for the oracle).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Sequence, Tuple
 
 from ..core.histogram import Bucket, Histogram
-from ..exceptions import SynopsisError
 from .cost_base import BucketCostFunction
+from .kernels import AUTO_KERNEL, DynamicProgramResult, resolve_kernel
 
 __all__ = [
     "optimal_boundaries",
     "optimal_histogram",
     "optimal_histograms_for_budgets",
     "histogram_from_boundaries",
+    "solve_dynamic_program",
     "DynamicProgramResult",
 ]
 
 
-class DynamicProgramResult:
-    """Full DP table: optimal errors and back-pointers for every budget ``b <= B``.
-
-    Keeping the whole table around lets callers (notably the Figure 2
-    experiments, which sweep the bucket budget) extract the optimal histogram
-    for *every* budget from a single DP run.
-    """
-
-    def __init__(
-        self,
-        cost_fn: BucketCostFunction,
-        errors: np.ndarray,
-        parents: np.ndarray,
-    ) -> None:
-        self._cost_fn = cost_fn
-        self._errors = errors
-        self._parents = parents
-
-    @property
-    def max_buckets(self) -> int:
-        """The largest budget the table was computed for."""
-        return self._errors.shape[0]
-
-    def optimal_error(self, buckets: int) -> float:
-        """Optimal objective value achievable with ``buckets`` buckets."""
-        self._check_budget(buckets)
-        return float(self._errors[buckets - 1, -1])
-
-    def boundaries(self, buckets: int) -> List[Tuple[int, int]]:
-        """Optimal bucket spans for the given budget."""
-        self._check_budget(buckets)
-        n = self._errors.shape[1]
-        spans: List[Tuple[int, int]] = []
-        j = n - 1
-        b = buckets - 1
-        while j >= 0:
-            split = int(self._parents[b, j])
-            spans.append((split + 1, j))
-            j = split
-            b = max(b - 1, 0)
-        spans.reverse()
-        return spans
-
-    def histogram(self, buckets: int) -> Histogram:
-        """Optimal histogram (boundaries + representatives) for the given budget."""
-        return histogram_from_boundaries(self._cost_fn, self.boundaries(buckets))
-
-    def _check_budget(self, buckets: int) -> None:
-        if not 1 <= buckets <= self.max_buckets:
-            raise SynopsisError(
-                f"budget {buckets} outside the computed range [1, {self.max_buckets}]"
-            )
-
-
-def _combine(prefix_errors: np.ndarray, bucket_costs: np.ndarray, aggregation: str) -> np.ndarray:
-    if aggregation == "sum":
-        return prefix_errors + bucket_costs
-    return np.maximum(prefix_errors, bucket_costs)
-
-
-def solve_dynamic_program(cost_fn: BucketCostFunction, max_buckets: int) -> DynamicProgramResult:
+def solve_dynamic_program(
+    cost_fn: BucketCostFunction, max_buckets: int, kernel: str = AUTO_KERNEL
+) -> DynamicProgramResult:
     """Run the histogram DP for all budgets ``1..max_buckets``.
 
-    Returns a :class:`DynamicProgramResult` from which the optimal error and
-    bucketing can be read off for any budget up to ``max_buckets``.
+    ``kernel`` names the DP solver to use (``"exact"``, ``"vectorized"``,
+    ``"divide_conquer"`` or ``"auto"``); unsuitable choices fall back
+    automatically, so the result is the optimum regardless.  Returns a
+    :class:`DynamicProgramResult` from which the optimal error and bucketing
+    can be read off for any budget up to ``max_buckets``.
     """
-    n = cost_fn.domain_size
-    if n <= 0:
-        raise SynopsisError("cannot build a histogram over an empty domain")
-    if max_buckets < 1:
-        raise SynopsisError("the bucket budget must be at least 1")
-    max_buckets = min(max_buckets, n)
-    aggregation = cost_fn.aggregation
-    if aggregation not in ("sum", "max"):
-        raise SynopsisError(f"unknown aggregation {aggregation!r}")
-
-    errors = np.empty((max_buckets, n), dtype=float)
-    parents = np.full((max_buckets, n), -1, dtype=np.int64)
-
-    # One bucket: the bucket is the whole prefix, split point is -1.
-    all_ends = np.arange(n)
-    errors[0, :] = [cost_fn.cost(0, int(j)) for j in all_ends]
-    parents[0, :] = -1
-
-    for b in range(1, max_buckets):
-        prev = errors[b - 1]
-        for j in range(n):
-            if j < b:
-                # Fewer items than buckets: carrying the (b)-bucket solution of
-                # the same prefix is optimal (extra buckets cannot help).
-                errors[b, j] = prev[j]
-                parents[b, j] = parents[b - 1, j]
-                continue
-            # Last bucket starts at split+1 for split in [b-1, j-1]; with at
-            # least one item per preceding bucket the earliest split is b-1.
-            splits = np.arange(b - 1, j)
-            starts = splits + 1
-            bucket_costs = cost_fn.costs_for_starts(starts, j)
-            candidates = _combine(prev[splits], bucket_costs, aggregation)
-            best = int(np.argmin(candidates))
-            errors[b, j] = candidates[best]
-            parents[b, j] = splits[best]
-    return DynamicProgramResult(cost_fn, errors, parents)
+    return resolve_kernel(kernel, cost_fn).solve(cost_fn, max_buckets)
 
 
-def optimal_boundaries(cost_fn: BucketCostFunction, buckets: int) -> List[Tuple[int, int]]:
+def optimal_boundaries(
+    cost_fn: BucketCostFunction, buckets: int, kernel: str = AUTO_KERNEL
+) -> List[Tuple[int, int]]:
     """Optimal bucket spans for a single budget."""
-    return solve_dynamic_program(cost_fn, buckets).boundaries(min(buckets, cost_fn.domain_size))
+    result = solve_dynamic_program(cost_fn, buckets, kernel)
+    return result.boundaries(min(buckets, cost_fn.domain_size))
 
 
 def histogram_from_boundaries(
@@ -155,14 +67,16 @@ def histogram_from_boundaries(
     return Histogram(buckets, cost_fn.domain_size)
 
 
-def optimal_histogram(cost_fn: BucketCostFunction, buckets: int) -> Histogram:
+def optimal_histogram(
+    cost_fn: BucketCostFunction, buckets: int, kernel: str = AUTO_KERNEL
+) -> Histogram:
     """The optimal ``buckets``-bucket histogram under the oracle's objective."""
-    result = solve_dynamic_program(cost_fn, buckets)
+    result = solve_dynamic_program(cost_fn, buckets, kernel)
     return result.histogram(min(buckets, cost_fn.domain_size))
 
 
 def optimal_histograms_for_budgets(
-    cost_fn: BucketCostFunction, budgets: Sequence[int]
+    cost_fn: BucketCostFunction, budgets: Sequence[int], kernel: str = AUTO_KERNEL
 ) -> List[Histogram]:
     """Optimal histograms for several budgets from one DP run.
 
@@ -172,5 +86,5 @@ def optimal_histograms_for_budgets(
     """
     if not budgets:
         return []
-    result = solve_dynamic_program(cost_fn, max(budgets))
+    result = solve_dynamic_program(cost_fn, max(budgets), kernel)
     return [result.histogram(min(b, cost_fn.domain_size)) for b in budgets]

@@ -1,0 +1,49 @@
+"""The reference DP kernel: one vectorised inner minimisation per prefix end.
+
+This is the paper's direct ``O(B n^2)`` evaluation of Eq. 2, kept as the
+ground truth every other kernel is checked against.  Row ``b`` is filled by
+sweeping the prefix end ``j`` in Python and evaluating all admissible split
+points of each cell with a single batch oracle call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost_base import BucketCostFunction
+from .base import DPKernel, DynamicProgramResult, combine, seed_first_row
+
+__all__ = ["ExactKernel"]
+
+
+class ExactKernel(DPKernel):
+    """Row sweep over prefix ends with a vectorised split-point minimisation."""
+
+    name = "exact"
+
+    def solve(self, cost_fn: BucketCostFunction, max_buckets: int) -> DynamicProgramResult:
+        n, max_buckets, aggregation = self._validate(cost_fn, max_buckets)
+
+        errors = np.empty((max_buckets, n), dtype=float)
+        parents = np.full((max_buckets, n), -1, dtype=np.int64)
+
+        # One bucket: the bucket is the whole prefix, split point is -1.
+        errors[0, :] = seed_first_row(cost_fn, n)
+
+        for b in range(1, max_buckets):
+            prev = errors[b - 1]
+            # Fewer items than buckets: carrying the (b)-bucket solution of
+            # the same prefix is optimal (extra buckets cannot help).
+            errors[b, :b] = prev[:b]
+            parents[b, :b] = parents[b - 1, :b]
+            for j in range(b, n):
+                # Last bucket starts at split+1 for split in [b-1, j-1]; with
+                # at least one item per preceding bucket the earliest split
+                # is b-1.
+                splits = np.arange(b - 1, j)
+                bucket_costs = cost_fn.costs_for_starts(splits + 1, j)
+                candidates = combine(prev[splits], bucket_costs, aggregation)
+                best = int(np.argmin(candidates))
+                errors[b, j] = candidates[best]
+                parents[b, j] = splits[best]
+        return DynamicProgramResult(cost_fn, errors, parents)

@@ -1,0 +1,86 @@
+"""Registry of interchangeable DP kernels.
+
+Kernels register under a short name (``"exact"``, ``"vectorized"``,
+``"divide_conquer"``); callers request one by name or pass ``"auto"`` to let
+the registry pick the fastest kernel that solves the given oracle exactly:
+
+* cumulative metrics with monotone split points → ``divide_conquer``
+  (``O(B n log n)``);
+* everything else, while the dense cost matrix fits → ``vectorized``
+  (``O(B n^2)`` with no Python inner loops, one oracle evaluation per span);
+* otherwise → ``exact`` (the reference row sweep, works for any oracle at
+  any size).
+
+Requesting a named kernel that cannot solve the oracle exactly (e.g.
+``divide_conquer`` with a maximum-error objective) silently falls back the
+same way — the paper's constructions guarantee optimality, so an unsuitable
+kernel choice must never change the result, only the speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ...exceptions import SynopsisError
+from ..cost_base import BucketCostFunction
+from .base import DPKernel
+from .divide_conquer import DivideConquerKernel
+from .exact import ExactKernel
+from .vectorized import VectorizedKernel
+
+__all__ = ["register_kernel", "get_kernel", "resolve_kernel", "available_kernels", "AUTO_KERNEL"]
+
+#: Name accepted everywhere a kernel can be chosen; resolves per-oracle.
+AUTO_KERNEL = "auto"
+
+_REGISTRY: Dict[str, DPKernel] = {}
+
+#: Fallback preference order used by ``auto`` and unsupported named requests.
+_AUTO_ORDER = ("divide_conquer", "vectorized", "exact")
+
+
+def register_kernel(kernel_cls: Type[DPKernel]) -> Type[DPKernel]:
+    """Register a kernel class under its ``name`` (usable as a decorator)."""
+    kernel = kernel_cls()
+    if not kernel.name or kernel.name == AUTO_KERNEL:
+        raise SynopsisError(f"kernel {kernel_cls.__name__} needs a non-reserved name")
+    _REGISTRY[kernel.name] = kernel
+    return kernel_cls
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Names of all registered kernels, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_kernel(name: str) -> DPKernel:
+    """The registered kernel called ``name`` (no suitability check)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join([AUTO_KERNEL, *available_kernels()])
+        raise SynopsisError(f"unknown DP kernel {name!r}; expected one of: {valid}") from None
+
+
+def resolve_kernel(name: str, cost_fn: BucketCostFunction) -> DPKernel:
+    """The kernel to run for ``cost_fn``: by name, with automatic fallback.
+
+    ``"auto"`` (or ``None``) picks the fastest suitable kernel; an explicit
+    name is honoured when the kernel supports the oracle and otherwise falls
+    back along the same preference order, so the returned kernel always
+    solves the DP exactly.
+    """
+    if name not in (None, AUTO_KERNEL):
+        kernel = get_kernel(name)
+        if kernel.supports(cost_fn):
+            return kernel
+    for fallback in _AUTO_ORDER:
+        kernel = _REGISTRY.get(fallback)
+        if kernel is not None and kernel.supports(cost_fn):
+            return kernel
+    return get_kernel("exact")
+
+
+register_kernel(ExactKernel)
+register_kernel(VectorizedKernel)
+register_kernel(DivideConquerKernel)

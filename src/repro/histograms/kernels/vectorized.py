@@ -1,0 +1,103 @@
+"""Whole-row broadcast DP kernel: zero Python loops over prefix ends.
+
+The bucket cost ``BERR(s, j)`` does not depend on the DP row, so the kernel
+materialises the full lower-triangular cost matrix once (ends-major, in
+bounded-size batches through the oracle's ``costs_for_spans``) and then fills
+each DP row with a single broadcast-and-reduce:
+
+    row_b[j] = min_s h(prev[s - 1], C[j, s]).
+
+Two things make this fast rather than merely loop-free.  First, the oracle
+is consulted once per span instead of once per (row, span) — for the
+maximum-error metrics, whose envelope costs are expensive, that alone beats
+the exact sweep by a factor of ``B``.  Second, the sweep computes only the
+row *minima*; back-pointers are reconstructed lazily by
+:class:`~repro.histograms.kernels.base.DynamicProgramResult` (one batch
+oracle call per queried split), which keeps the hot loop free of ``argmin``
+reductions that would otherwise dominate it.
+
+The cost matrix takes ``O(n^2)`` floats; :data:`MAX_DOMAIN_CELLS` caps the
+domain this kernel accepts (the registry's ``auto`` policy falls back to
+another kernel beyond it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import SynopsisError
+from ..cost_base import BucketCostFunction
+from .base import DPKernel, DynamicProgramResult
+
+__all__ = ["VectorizedKernel", "MAX_DOMAIN_CELLS"]
+
+#: Largest ``n^2`` for which the dense matrices are considered affordable.
+#: The solve keeps two ``n x n`` float64 arrays alive (the cost matrix plus
+#: the reusable candidates buffer), so the peak working set is about
+#: ``2 * 8 * MAX_DOMAIN_CELLS`` bytes — 256 MiB at this cap.
+MAX_DOMAIN_CELLS = 1 << 24
+
+#: Upper bound on ``spans * oracle.batch_cost_columns`` per batch oracle call.
+_BATCH_CELL_BUDGET = 1 << 22
+
+
+class VectorizedKernel(DPKernel):
+    """Broadcast DP over a precomputed lower-triangular bucket-cost matrix."""
+
+    name = "vectorized"
+
+    def supports(self, cost_fn: BucketCostFunction) -> bool:
+        n = cost_fn.domain_size
+        return n * n <= MAX_DOMAIN_CELLS
+
+    def solve(self, cost_fn: BucketCostFunction, max_buckets: int) -> DynamicProgramResult:
+        n, max_buckets, aggregation = self._validate(cost_fn, max_buckets)
+        if n * n > MAX_DOMAIN_CELLS:
+            raise SynopsisError(
+                f"domain size {n} exceeds the vectorized kernel's dense-matrix cap; "
+                "use the 'divide_conquer' or 'exact' kernel instead"
+            )
+        cost_matrix = self._cost_matrix(cost_fn, n)
+
+        errors = np.empty((max_buckets, n), dtype=float)
+        errors[0, :] = cost_matrix[:, 0]
+
+        candidates = np.empty_like(cost_matrix)
+        for b in range(1, max_buckets):
+            prev = errors[b - 1]
+            # prev_shift[s] = OPT of the prefix ending at split s-1; the
+            # leading +inf entries rule out splits below b-1 (each earlier
+            # bucket needs at least one item), and the matrix's +inf upper
+            # triangle rules out splits at or beyond the prefix end.
+            prev_shift = np.concatenate([[np.inf], prev[:-1]])
+            prev_shift[:b] = np.inf
+            if aggregation == "sum":
+                np.add(prev_shift[None, :], cost_matrix, out=candidates)
+            else:
+                np.maximum(prev_shift[None, :], cost_matrix, out=candidates)
+            errors[b, :] = candidates.min(axis=1)
+            # Fewer items than buckets: carry the previous row's solution.
+            errors[b, :b] = prev[:b]
+        return DynamicProgramResult(cost_fn, errors, parents=None)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cost_matrix(cost_fn: BucketCostFunction, n: int) -> np.ndarray:
+        """``C[j, s] = BERR(s, j)`` for ``s <= j``; ``+inf`` above the diagonal."""
+        matrix = np.full((n, n), np.inf)
+        ends_by_row = np.arange(n, dtype=np.int64)
+        # Flatten the triangle end-major: span t of prefix end j has start
+        # t - offset(j), so each batch writes contiguous runs of one row.
+        counts = ends_by_row + 1
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        total = int(offsets[-1])
+        pair_index = np.arange(total, dtype=np.int64)
+        ends = np.repeat(ends_by_row, counts)
+        starts = pair_index - offsets[ends]
+        chunk = max(1024, _BATCH_CELL_BUDGET // max(1, cost_fn.batch_cost_columns))
+        for cut in range(0, total, chunk):
+            stop = min(cut + chunk, total)
+            matrix[ends[cut:stop], starts[cut:stop]] = cost_fn.costs_for_spans(
+                starts[cut:stop], ends[cut:stop]
+            )
+        return matrix

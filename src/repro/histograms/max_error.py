@@ -39,10 +39,18 @@ __all__ = ["MaxAbsoluteCost", "MaxAbsoluteRelativeCost"]
 _TERNARY_ITERATIONS = 80
 
 
+#: Batched span evaluations are chunked so one chunk touches at most this many
+#: (item, probe) entries; bounds the working set of :meth:`costs_for_spans`.
+_BATCH_ITEM_BUDGET = 1 << 20
+
+
 class _MaxEnvelopeCost(BucketCostFunction):
     """Shared implementation of the MAE / MARE bucket-cost oracles."""
 
     aggregation = "max"
+    #: Maximum-error aggregation has no additive DP structure, so the
+    #: monotone-split divide-and-conquer kernel never applies.
+    supports_monotone_splits = False
 
     def __init__(
         self,
@@ -126,6 +134,86 @@ class _MaxEnvelopeCost(BucketCostFunction):
                 best_cost = cost
                 best_b = candidate
         return max(best_cost, 0.0), float(best_b)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation for the DP kernels
+    # ------------------------------------------------------------------
+    def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Batched ternary search over all spans' (convex) upper envelopes.
+
+        The envelope has no prefix-array shortcut, so each probe still costs
+        one pass over every item of every span — but running all spans'
+        searches in lock-step replaces ``O(spans)`` Python-level ternary
+        searches with ``_TERNARY_ITERATIONS`` vectorised sweeps.  Spans are
+        chunked so one sweep touches at most ``_BATCH_ITEM_BUDGET`` items.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        out = np.empty(starts.shape, dtype=float)
+        if starts.size == 0:
+            return out
+        widths = ends - starts + 1
+        cut = 0
+        while cut < starts.size:
+            stop = cut + 1
+            budget = int(widths[cut])
+            while stop < starts.size and budget + int(widths[stop]) <= _BATCH_ITEM_BUDGET:
+                budget += int(widths[stop])
+                stop += 1
+            out[cut:stop] = self._costs_for_span_chunk(starts[cut:stop], ends[cut:stop])
+            cut = stop
+        return out
+
+    def _costs_for_span_chunk(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        widths = ends - starts + 1
+        offsets = np.concatenate([[0], np.cumsum(widths)])
+        span_of = np.repeat(np.arange(starts.size), widths)
+        items = np.arange(offsets[-1]) - offsets[span_of] + starts[span_of]
+        segment_starts = offsets[:-1]
+
+        def envelope(b_hat: np.ndarray) -> np.ndarray:
+            """``max_{i in span} f_i(b_hat[span])`` for every span at once."""
+            idx = np.searchsorted(self._values, b_hat, side="right") - 1
+            idx_items = idx[span_of]
+            clipped = np.maximum(idx_items, 0)
+            inside = idx_items >= 0
+            below_w = np.where(inside, self._item_cum_weight[items, clipped], 0.0)
+            below_wv = np.where(inside, self._item_cum_weighted_value[items, clipped], 0.0)
+            total_w = self._item_total_weight[items]
+            total_wv = self._item_total_weighted_value[items]
+            b_items = b_hat[span_of]
+            per_item = (
+                b_items * below_w
+                - below_wv
+                + (total_wv - below_wv)
+                - b_items * (total_w - below_w)
+            )
+            return np.maximum.reduceat(per_item, segment_starts)
+
+        lo = float(self._values[0])
+        hi = float(self._values[-1])
+        if hi <= lo:
+            return np.maximum(envelope(np.full(starts.size, lo)), 0.0)
+        left = np.full(starts.size, lo)
+        right = np.full(starts.size, hi)
+        for _ in range(_TERNARY_ITERATIONS):
+            third = (right - left) / 3.0
+            mid_left = left + third
+            mid_right = right - third
+            go_left = envelope(mid_left) <= envelope(mid_right)
+            right = np.where(go_left, mid_right, right)
+            left = np.where(go_left, left, mid_left)
+        best_b = 0.5 * (left + right)
+        best_cost = envelope(best_b)
+        # Same cheap insurance as the scalar search: probe the grid values
+        # adjacent to the bracketing interval plus the range endpoints.
+        anchor = np.searchsorted(self._values, best_b)
+        for offset in (-1, 0, 1):
+            grid = np.clip(anchor + offset, 0, self._k - 1)
+            best_cost = np.minimum(best_cost, envelope(self._values[grid]))
+        best_cost = np.minimum(best_cost, envelope(np.full(starts.size, lo)))
+        best_cost = np.minimum(best_cost, envelope(np.full(starts.size, hi)))
+        return np.maximum(best_cost, 0.0)
 
 
 class MaxAbsoluteCost(_MaxEnvelopeCost):

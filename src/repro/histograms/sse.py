@@ -96,6 +96,17 @@ class SseCost(BucketCostFunction):
         self._prefix_plain_expectation = np.concatenate([[0.0], np.cumsum(expectations)])
         self._n = n
 
+        # The fixed-representative cost is a per-item constant plus the
+        # weighted variance of the expectations; the concave quadrangle
+        # inequality (monotone DP split points) holds exactly when the
+        # expectations of the weighted items form a monotone sequence.  The
+        # paper variant's bucket-total variance term (and its tuple straddle
+        # corrections) carries no such guarantee.
+        steps = np.diff(expectations[weights > 0])
+        self.supports_monotone_splits = bool(
+            variant == "fixed" and (np.all(steps >= 0.0) or np.all(steps <= 0.0))
+        )
+
         if variant == "paper" and model is not None:
             self._prepare_tuple_arrays(model)
         else:
@@ -191,17 +202,20 @@ class SseCost(BucketCostFunction):
             cost -= self._bucket_total_variance(start, end) / width
         return max(cost, 0.0), float(representative)
 
-    def costs_for_starts(self, starts: np.ndarray, end: int) -> np.ndarray:
+    def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         starts = np.asarray(starts, dtype=np.int64)
-        widths = end - starts + 1
-        sum_expectation = self._prefix_expectation[end + 1] - self._prefix_expectation[starts]
-        sum_second_moment = self._prefix_second_moment[end + 1] - self._prefix_second_moment[starts]
-        sum_weight = self._prefix_weight[end + 1] - self._prefix_weight[starts]
+        ends = np.asarray(ends, dtype=np.int64)
+        widths = ends - starts + 1
+        sum_expectation = self._prefix_expectation[ends + 1] - self._prefix_expectation[starts]
+        sum_second_moment = (
+            self._prefix_second_moment[ends + 1] - self._prefix_second_moment[starts]
+        )
+        sum_weight = self._prefix_weight[ends + 1] - self._prefix_weight[starts]
         safe_weight = np.where(sum_weight > 0.0, sum_weight, 1.0)
         costs = sum_second_moment - (sum_expectation ** 2) / safe_weight
         costs = np.where(sum_weight > 0.0, costs, 0.0)
         if self._variant == "paper":
-            costs = costs - self._bucket_total_variances(starts, end) / widths
+            costs = costs - self._bucket_total_variances_for_spans(starts, ends) / widths
         return np.maximum(costs, 0.0)
 
     # ------------------------------------------------------------------
@@ -217,15 +231,23 @@ class SseCost(BucketCostFunction):
         sum_sq_range = sum_sq_cdf - 2.0 * self._straddle_correction(start, end)
         return float(max(sum_expectation - sum_sq_range, 0.0))
 
-    def _bucket_total_variances(self, starts: np.ndarray, end: int) -> np.ndarray:
+    def _bucket_total_variances_for_spans(
+        self, starts: np.ndarray, ends: np.ndarray
+    ) -> np.ndarray:
         if self._model is None:
-            return self._prefix_variance[end + 1] - self._prefix_variance[starts]
+            return self._prefix_variance[ends + 1] - self._prefix_variance[starts]
         sum_expectation = (
-            self._prefix_plain_expectation[end + 1] - self._prefix_plain_expectation[starts]
+            self._prefix_plain_expectation[ends + 1] - self._prefix_plain_expectation[starts]
         )
-        sum_sq_cdf = self._prefix_sq_cdf[end + 1] - self._prefix_sq_cdf[starts]
+        sum_sq_cdf = self._prefix_sq_cdf[ends + 1] - self._prefix_sq_cdf[starts]
         if self._straddler_tuples:
-            corrections = self._correction_vector(end)[starts]
+            # The straddle-correction vector is cached per bucket end; batch
+            # calls group the spans by their (typically few) distinct ends.
+            corrections = np.empty(starts.shape, dtype=float)
+            unique_ends, inverse = np.unique(ends, return_inverse=True)
+            for k, end in enumerate(unique_ends):
+                mask = inverse == k
+                corrections[mask] = self._correction_vector(int(end))[starts[mask]]
         else:
             corrections = 0.0
         return np.maximum(sum_expectation - (sum_sq_cdf - 2.0 * corrections), 0.0)

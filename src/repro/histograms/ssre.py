@@ -69,6 +69,14 @@ class SsreCost(BucketCostFunction):
         self._prefix_z = np.concatenate([[0.0], np.cumsum(per_item_z)])
         self._n = n
 
+        # The cost is a per-item constant plus the Z-weighted variance of the
+        # per-item optima Y/Z; monotone DP split points (the concave
+        # quadrangle inequality) are guaranteed when those optima form a
+        # monotone sequence.
+        active = per_item_z > 0.0
+        steps = np.diff(per_item_y[active] / per_item_z[active])
+        self.supports_monotone_splits = bool(np.all(steps >= 0.0) or np.all(steps <= 0.0))
+
     # ------------------------------------------------------------------
     @property
     def domain_size(self) -> int:
@@ -92,11 +100,12 @@ class SsreCost(BucketCostFunction):
         cost = x - (y * y) / z
         return max(cost, 0.0), float(representative)
 
-    def costs_for_starts(self, starts: np.ndarray, end: int) -> np.ndarray:
+    def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         starts = np.asarray(starts, dtype=np.int64)
-        x = self._prefix_x[end + 1] - self._prefix_x[starts]
-        y = self._prefix_y[end + 1] - self._prefix_y[starts]
-        z = self._prefix_z[end + 1] - self._prefix_z[starts]
+        ends = np.asarray(ends, dtype=np.int64)
+        x = self._prefix_x[ends + 1] - self._prefix_x[starts]
+        y = self._prefix_y[ends + 1] - self._prefix_y[starts]
+        z = self._prefix_z[ends + 1] - self._prefix_z[starts]
         safe_z = np.where(z > 0.0, z, 1.0)
         costs = np.where(z > 0.0, x - (y * y) / safe_z, 0.0)
         return np.maximum(costs, 0.0)
