@@ -151,7 +151,12 @@ def _run_experiment(args: argparse.Namespace) -> str:
             args.budgets, domain_size=args.domain_size, metric=args.metric, kernel=args.kernel
         )
         return timing_table(vs_domain) + "\n\n" + timing_table(vs_buckets)
-    result = run_wavelet_quality(model, args.budgets, seed=args.seed)
+    # Non-SSE metrics add a restricted-DP curve (one tabulation per metric,
+    # all budgets read off the same sweep) next to the greedy-SSE curves.
+    dp_metrics = [] if args.metric == "sse" else [args.metric]
+    result = run_wavelet_quality(
+        model, args.budgets, seed=args.seed, dp_metrics=dp_metrics, sanity=args.sanity
+    )
     return wavelet_quality_table(result)
 
 

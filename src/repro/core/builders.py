@@ -125,9 +125,7 @@ def build_synopsis(
     normalised = _as_data(data)
 
     if synopsis == "wavelet":
-        results: List[Synopsis] = [
-            _build_wavelet(normalised, b, spec, workload) for b in budgets
-        ]
+        results = _build_wavelets(normalised, budgets, spec, workload)
     else:
         results = _build_histograms(
             normalised, budgets, spec,
@@ -166,28 +164,30 @@ def _build_histograms(
     return [dp.histogram(min(b, dp.max_buckets)) for b in budgets]
 
 
-def _build_wavelet(
+def _build_wavelets(
     data: Union[ProbabilisticModel, FrequencyDistributions],
-    coefficients: int,
+    budgets: List[int],
     spec: MetricSpec,
     workload,
-) -> WaveletSynopsis:
-    """One wavelet synopsis: SSE thresholding or the restricted-tree DP.
+) -> List[Synopsis]:
+    """Wavelet synopses: SSE thresholding or the restricted-tree DP.
 
     For the SSE metric this is the ``O(n)`` optimal thresholding of the
     expected coefficients (Theorem 7).  For the other metrics the restricted
-    coefficient-tree dynamic program is used (Theorem 8).  With a workload
-    the greedy SSE argument no longer applies, so every metric is routed
-    through the restricted DP with workload-weighted leaf errors.
+    coefficient-tree dynamic program is used (Theorem 8); like the histogram
+    path, a budget sweep is served by a single tabulation for the largest
+    budget.  With a workload the greedy SSE argument no longer applies, so
+    every metric is routed through the restricted DP with workload-weighted
+    leaf errors.
     """
-    from ..wavelets.nonsse import restricted_wavelet_synopsis
+    from ..wavelets.nonsse import restricted_wavelet_sweep
     from ..wavelets.sse import sse_optimal_wavelet
 
-    if coefficients < 0:
+    if any(b < 0 for b in budgets):
         raise SynopsisError("the coefficient budget must be non-negative")
     if spec.metric is ErrorMetric.SSE and workload is None:
-        return sse_optimal_wavelet(data, coefficients)
-    return restricted_wavelet_synopsis(data, coefficients, spec, workload=workload)
+        return [sse_optimal_wavelet(data, b) for b in budgets]
+    return restricted_wavelet_sweep(data, budgets, spec, workload=workload)
 
 
 def build_histogram(

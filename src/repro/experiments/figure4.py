@@ -8,6 +8,11 @@ coefficient selection is measured as the sum of squared expected coefficients
 ``sum_i mu_{c_i}^2`` — the range of SSE attributable to the selection.  The
 paper runs this on the MystiQ movie data (Figure 4(a)) and on the
 MayBMS/TPC-H data (Figure 4(b)); our stand-in generators provide both.
+
+``dp_metrics`` additionally runs the restricted non-SSE coefficient-tree DP
+(Theorem 8) and plots its selections on the same axes: all budgets of a
+curve come from *one* tabulation of the DP (the engine's budget sweep), so
+adding a DP curve costs one solve, not one per budget.
 """
 
 from __future__ import annotations
@@ -17,11 +22,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.metrics import DEFAULT_SANITY, MetricSpec
 from ..evaluation.errors import expected_error
 from ..exceptions import EvaluationError
 from ..models.base import ProbabilisticModel
 from ..wavelets.coefficients import expected_coefficients
 from ..wavelets.haar import haar_transform
+from ..wavelets.nonsse import RestrictedWaveletDP
 from ..wavelets.sse import top_coefficient_indices
 
 __all__ = ["WaveletQualityCurve", "WaveletQualityResult", "run_wavelet_quality"]
@@ -79,8 +86,15 @@ def run_wavelet_quality(
     *,
     sample_count: int = 3,
     seed: Optional[int] = None,
+    dp_metrics: Sequence[str] = (),
+    sanity: float = DEFAULT_SANITY,
 ) -> WaveletQualityResult:
-    """Run one Figure 4 sub-experiment (SSE wavelets, probabilistic vs sampled)."""
+    """Run one Figure 4 sub-experiment (SSE wavelets, probabilistic vs sampled).
+
+    Every metric named in ``dp_metrics`` adds a ``dp_<metric>`` curve whose
+    selections come from the restricted coefficient-tree DP, with the whole
+    budget sweep read off a single tabulation.
+    """
     budgets = sorted(set(int(b) for b in budgets))
     if not budgets:
         raise EvaluationError("at least one coefficient budget is required")
@@ -114,6 +128,21 @@ def run_wavelet_quality(
         sampled_coefficients = haar_transform(world, normalised=True)
         name = f"sampled_world_{sample_index + 1}"
         curves[name] = build_curve(name, sampled_coefficients)
+
+    if dp_metrics:
+        distributions = model.to_frequency_distributions()
+        for metric in dp_metrics:
+            spec = MetricSpec.of(metric, sanity)
+            dp = RestrictedWaveletDP(distributions, spec).prepare(max(budgets))
+            name = f"dp_{spec.metric.value}"
+            percents: List[float] = []
+            sses: List[float] = []
+            for budget in budgets:
+                _, synopsis = dp.solve(budget)
+                selected = np.fromiter(synopsis.indices, dtype=np.int64, count=len(synopsis))
+                percents.append(_selection_error_percent(mu, selected, total_energy))
+                sses.append(expected_error(model, synopsis, "sse"))
+            curves[name] = WaveletQualityCurve(name, list(budgets), percents, sses)
 
     return WaveletQualityResult(
         domain_size=model.domain_size,

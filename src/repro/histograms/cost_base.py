@@ -111,10 +111,16 @@ class BucketCostFunction(abc.ABC):
 
     def total_cost(self, boundaries) -> float:
         """Objective value of an explicit bucketing (list of ``(start, end)`` spans)."""
-        costs = [self.cost(start, end) for start, end in boundaries]
-        if not costs:
+        spans = np.asarray(list(boundaries), dtype=np.int64)
+        if spans.size == 0:
             raise SynopsisError("cannot score an empty bucketing")
-        return float(sum(costs)) if self.aggregation == "sum" else float(max(costs))
+        starts, ends = spans[:, 0], spans[:, 1]
+        invalid = (starts < 0) | (ends >= self.domain_size) | (starts > ends)
+        if np.any(invalid):
+            bad = int(np.argmax(invalid))
+            self._check_span(int(starts[bad]), int(ends[bad]))
+        costs = self.costs_for_spans(starts, ends)
+        return float(costs.sum()) if self.aggregation == "sum" else float(costs.max())
 
     def _check_span(self, start: int, end: int) -> None:
         if not (0 <= start <= end < self.domain_size):

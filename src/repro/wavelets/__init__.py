@@ -8,8 +8,12 @@ Contents:
   variances under the probabilistic models;
 * :mod:`repro.wavelets.sse` — the ``O(n)`` expected-SSE-optimal thresholding
   (Theorem 7);
-* :mod:`repro.wavelets.nonsse` — the restricted coefficient-tree dynamic
-  program for non-SSE metrics (Theorem 8);
+* :mod:`repro.wavelets.nonsse` — the tabulated bottom-up restricted
+  coefficient-tree dynamic program for non-SSE metrics (Theorem 8);
+* :mod:`repro.wavelets.reference` — the recursive memoised reference solver
+  the tabulated engine is equivalence-tested against;
+* :mod:`repro.wavelets.leaf_errors` — the shared batched expected-leaf-error
+  kernel both solvers evaluate through;
 * :mod:`repro.wavelets.baselines` — the sampled-world baseline of Figure 4.
 """
 
@@ -31,7 +35,13 @@ from .haar import (
     pad_to_power_of_two,
     reconstruct_leaf,
 )
-from .nonsse import RestrictedWaveletDP, restricted_wavelet_synopsis
+from .leaf_errors import expected_leaf_errors, leaf_weight_vector
+from .nonsse import (
+    RestrictedWaveletDP,
+    restricted_wavelet_sweep,
+    restricted_wavelet_synopsis,
+)
+from .reference import ReferenceWaveletDP
 from .sse import expected_sse_of_selection, sse_optimal_wavelet, top_coefficient_indices
 
 __all__ = [
@@ -52,7 +62,11 @@ __all__ = [
     "expected_sse_of_selection",
     "top_coefficient_indices",
     "restricted_wavelet_synopsis",
+    "restricted_wavelet_sweep",
     "RestrictedWaveletDP",
+    "ReferenceWaveletDP",
+    "expected_leaf_errors",
+    "leaf_weight_vector",
     "sampled_world_wavelet",
     "expectation_wavelet",
 ]

@@ -1,0 +1,127 @@
+"""Shared expected-leaf-error kernel for the restricted wavelet DPs.
+
+Both restricted-DP solvers — the fast tabulated engine in
+:mod:`repro.wavelets.nonsse` and the recursive reference oracle in
+:mod:`repro.wavelets.reference` — score a candidate reconstruction value
+``v`` at a data leaf ``l`` by the same quantity:
+
+    w_l * E[err(g_l, v)] = w_l * sum_j Pr[g_l = V_j] * err(V_j, v),
+
+with padding leaves (positions beyond the real domain) deterministically
+zero and zero-weight leaves free.  This module evaluates that quantity for
+an arbitrary *batch* of ``(leaf, value)`` pairs in one vectorised pass.
+
+The accumulation over the value grid is a fixed binary-tree (pairwise
+halving) reduction rather than a matrix product.  A BLAS ``dot`` is free to
+reassociate the sum (blocking, SIMD partial sums) differently for a
+``(n, V) @ (V, P)`` product than for a length-``V`` vector dot, so the same
+mathematical sum can differ in the last few ulps depending on batch shape.
+The halving reduction fixes one association order per element that depends
+only on the grid size — never on the batch size — which is what lets the
+equivalence tests and the benchmark demand *bit-identical* optima from the
+two solvers instead of tolerances, while still costing only ``log V``
+vectorised passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.metrics import MetricSpec
+
+__all__ = ["expected_leaf_errors", "leaf_weight_vector"]
+
+#: Soft bound on the number of ``value-grid x pair`` cells materialised at
+#: once; batches beyond it are processed in chunks of this many cells.
+_CELL_BUDGET = 1 << 21
+
+
+def leaf_weight_vector(domain_size: int, length: int, workload) -> np.ndarray:
+    """Per-leaf workload weights over the padded transform domain.
+
+    Under the uniform (``None``) workload every leaf — including the zero
+    padding up to the transform length — weighs one, matching the unweighted
+    padded-domain objective.  An explicit workload weights the real items and
+    assigns the padding leaves zero weight, since they are not queryable.
+    """
+    from ..core.workload import QueryWorkload
+
+    coerced = QueryWorkload.coerce(workload, domain_size)
+    if coerced is None:
+        return np.ones(length)
+    weights = np.zeros(length)
+    weights[:domain_size] = coerced.weights
+    return weights
+
+
+def expected_leaf_errors(
+    probabilities: np.ndarray,
+    values: np.ndarray,
+    spec: MetricSpec,
+    leaf_indices: np.ndarray,
+    incoming: np.ndarray,
+    leaf_weights: np.ndarray,
+) -> np.ndarray:
+    """Weighted expected point errors of a batch of ``(leaf, incoming)`` pairs.
+
+    Parameters
+    ----------
+    probabilities:
+        The ``(n, V)`` per-item marginal probability matrix.
+    values:
+        The shared length-``V`` value grid.
+    spec:
+        The error metric (supplies the vectorised point-error function).
+    leaf_indices / incoming:
+        Equal-length arrays: pair ``p`` asks for leaf ``leaf_indices[p]``
+        approximated by the value ``incoming[p]``.  Indices at or beyond the
+        real domain address padding leaves (deterministically zero).
+    leaf_weights:
+        Per-leaf workload weights over the padded domain.
+    """
+    leaf_indices = np.asarray(leaf_indices, dtype=np.int64)
+    incoming = np.asarray(incoming, dtype=float)
+    out = np.zeros(incoming.shape, dtype=float)
+    if incoming.size == 0:
+        return out
+    domain_size = probabilities.shape[0]
+    weights = leaf_weights[leaf_indices]
+    live = weights != 0.0
+
+    padding = live & (leaf_indices >= domain_size)
+    if np.any(padding):
+        out[padding] = weights[padding] * np.asarray(
+            spec.point_error(0.0, incoming[padding]), dtype=float
+        )
+
+    real = np.nonzero(live & (leaf_indices < domain_size))[0]
+    grid_size = values.size
+    chunk = max(1, _CELL_BUDGET // max(1, grid_size))
+    for start in range(0, real.size, chunk):
+        pairs = real[start : start + chunk]
+        # (V, P) point errors of every grid value against every candidate.
+        errors = np.asarray(
+            spec.point_error(values[:, None], incoming[pairs][None, :]), dtype=float
+        )
+        products = probabilities[leaf_indices[pairs]] * errors.T
+        out[pairs] = weights[pairs] * _pairwise_sum(products)
+    return out
+
+
+def _pairwise_sum(products: np.ndarray) -> np.ndarray:
+    """Sum over the last axis with a fixed binary-tree bracketing.
+
+    The bracketing depends only on the axis length (the value-grid size),
+    so every element's sum is associated identically no matter how the
+    batch is shaped or chunked.
+    """
+    while products.shape[-1] > 1:
+        if products.shape[-1] % 2:
+            products = np.concatenate(
+                [products[..., 0:-1:2] + products[..., 1::2], products[..., -1:]], axis=-1
+            )
+        else:
+            products = products[..., 0::2] + products[..., 1::2]
+    return products[..., 0]
