@@ -7,7 +7,6 @@ captured by the selection, exactly as the paper measures it.  The timed
 kernel is the full O(n) optimal construction.
 """
 
-import pytest
 
 from repro.experiments import run_wavelet_quality, wavelet_quality_table
 from repro.wavelets import sse_optimal_wavelet

@@ -1,6 +1,8 @@
 """Setuptools shim.
 
-All project metadata lives in ``pyproject.toml``; this file exists so that
+All project metadata — the ``numpy`` install requirement, the ``src``
+package layout (including ``repro.service``), the ``repro-synopses``
+console script — lives in ``pyproject.toml``; this file exists so that
 legacy installation paths (``pip install -e . --no-use-pep517`` on machines
 without the ``wheel`` package, offline environments) keep working.
 """

@@ -20,6 +20,17 @@ Installed as ``repro-synopses``.  Sub-commands:
 ``experiment``
     Run a scaled-down version of one of the paper's experiments (figure2,
     figure3 or figure4) and print the resulting table.
+
+``serve-build``
+    Build (or fetch from a :class:`repro.service.SynopsisStore` cache) a
+    synopsis for serving; repeat invocations with the same data and
+    configuration are cache hits that skip the dynamic program.
+
+``query``
+    Answer point / range-sum / range-avg queries against a served synopsis
+    through the vectorised batch engine, with per-query expected-error
+    attribution; ``--replay N`` generates a workload-driven query mix and
+    reports serving throughput instead.
 """
 
 from __future__ import annotations
@@ -121,6 +132,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=_KERNEL_CHOICES, default=AUTO_KERNEL,
         help="DP kernel for the histogram constructions",
     )
+
+    # serve-build / query -------------------------------------------------
+    # Both subcommands resolve a synopsis through the store under the same
+    # build configuration, shared via a parent parser so the two surfaces
+    # cannot drift apart.
+    serving_config = argparse.ArgumentParser(add_help=False)
+    serving_config.add_argument("--input", required=True, help="model JSON file")
+    serving_config.add_argument("--store", required=True, help="synopsis store directory")
+    serving_config.add_argument("--budget", type=int, required=True,
+                                help="bucket / coefficient budget B")
+    serving_config.add_argument(
+        "--synopsis", choices=["histogram", "wavelet"], default="histogram"
+    )
+    serving_config.add_argument("--metric", choices=_METRIC_CHOICES, default="sse")
+    serving_config.add_argument("--sanity", type=float, default=DEFAULT_SANITY,
+                                help="sanity constant c")
+    serving_config.add_argument("--method", choices=["optimal", "approximate"], default="optimal")
+    serving_config.add_argument("--epsilon", type=float, default=0.1)
+    serving_config.add_argument("--kernel", choices=_KERNEL_CHOICES, default=AUTO_KERNEL)
+    serving_config.add_argument("--sse-variant", choices=["fixed", "paper"], default="fixed")
+
+    subparsers.add_parser(
+        "serve-build", parents=[serving_config],
+        help="build a synopsis through the serving-layer cache",
+    )
+
+    query = subparsers.add_parser(
+        "query", parents=[serving_config],
+        help="answer queries against a served synopsis",
+    )
+    query.add_argument("--point", type=int, action="append", default=[],
+                       metavar="ITEM", help="point query (repeatable)")
+    query.add_argument("--range", action="append", default=[], metavar="START:END",
+                       help="range-sum query, inclusive (repeatable)")
+    query.add_argument("--avg", action="append", default=[], metavar="START:END",
+                       help="range-average query, inclusive (repeatable)")
+    query.add_argument("--replay", type=int, default=0, metavar="N",
+                       help="generate and replay a mix of N workload-driven queries")
+    query.add_argument("--seed", type=int, default=7, help="seed for --replay")
     return parser
 
 
@@ -158,6 +208,94 @@ def _run_experiment(args: argparse.Namespace) -> str:
         model, args.budgets, seed=args.seed, dp_metrics=dp_metrics, sanity=args.sanity
     )
     return wavelet_quality_table(result)
+
+
+def _store_get_or_build(args: argparse.Namespace, model):
+    """Shared serve-build/query path: fetch the synopsis through the store."""
+    from .service import SynopsisStore
+
+    store = SynopsisStore(args.store)
+    synopsis = store.get_or_build(
+        model,
+        args.budget,
+        synopsis=args.synopsis,
+        metric=args.metric,
+        sanity=args.sanity,
+        method=args.method,
+        kernel=args.kernel,
+        epsilon=args.epsilon,
+        sse_variant=args.sse_variant,
+    )
+    return store, synopsis
+
+
+def _serve_build(args: argparse.Namespace) -> str:
+    model = read_model(args.input)
+    store, synopsis = _store_get_or_build(args, model)
+    stats = store.stats
+    served_from = "cache" if stats.memory_hits or stats.disk_hits else "fresh build"
+    error = expected_error(model, synopsis, args.metric, sanity=args.sanity)
+    return (
+        f"served {synopsis!r} from {served_from} "
+        f"(store: {stats.builds} built, {stats.disk_hits} disk hits); "
+        f"expected {args.metric.upper()} = {error:.6g}"
+    )
+
+
+def _run_query(args: argparse.Namespace) -> str:
+    from .service import BatchQueryEngine, QueryBatch, generate_query_mix, replay
+
+    def parse_range(text: str):
+        try:
+            start, end = text.split(":", 1)
+            return int(start), int(end)
+        except ValueError:
+            raise ReproError(f"expected START:END, got {text!r}") from None
+
+    explicit = bool(args.point or args.range or args.avg)
+    if args.replay and explicit:
+        raise ReproError(
+            "--replay generates its own query mix; drop it to answer the "
+            "explicit --point/--range/--avg queries, or drop those to replay"
+        )
+
+    model = read_model(args.input)
+    _, synopsis = _store_get_or_build(args, model)
+    engine = BatchQueryEngine.from_model(synopsis, model, args.metric, sanity=args.sanity)
+
+    if args.replay:
+        # The per-query reference loop is O(N) per wavelet point query, so it
+        # is only timed (and cross-checked) on modest replays; the benchmark
+        # and test-suite pin batch == serial equality exhaustively.
+        compare_serial = args.replay <= 10_000
+        batch = generate_query_mix(model.domain_size, args.replay, seed=args.seed)
+        report = replay(engine, batch, compare_serial=compare_serial)
+        latency = report["chunk_latency_ms"]
+        speedup = (
+            f" ({report['batch_speedup_vs_serial']:.1f}x over the per-query loop)"
+            if compare_serial
+            else ""
+        )
+        return (
+            f"replayed {report['queries']} queries ({report['kind_counts']}) in "
+            f"{report['batch_seconds']:.4f}s: {report['throughput_qps']:,.0f} "
+            f"queries/s{speedup}; "
+            f"chunk latency p50 {latency['p50']:.3f}ms / p95 {latency['p95']:.3f}ms"
+        )
+
+    queries = [("point", item) for item in args.point]
+    queries += [("range_sum", *parse_range(text)) for text in args.range]
+    queries += [("range_avg", *parse_range(text)) for text in args.avg]
+    if not queries:
+        raise ReproError("no queries given; use --point / --range / --avg or --replay N")
+    batch = QueryBatch.from_tuples(queries)
+    answers = engine.answer(batch)
+    errors = engine.attribute_errors(batch)
+    lines = [f"{'query':<24} {'answer':>14} {'expected error':>16}"]
+    for (kind, start, end), answer, error in zip(batch.as_tuples(), answers, errors):
+        label = f"{kind}[{start}]" if kind == "point" else f"{kind}[{start}:{end}]"
+        lines.append(f"{label:<24} {answer:>14.6g} {error:>16.6g}")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -209,6 +347,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote {args.output}: {model!r}")
         elif args.command == "experiment":
             print(_run_experiment(args))
+        elif args.command == "serve-build":
+            print(_serve_build(args))
+        elif args.command == "query":
+            print(_run_query(args))
         else:  # pragma: no cover - argparse guards this
             parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:

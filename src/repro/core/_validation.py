@@ -1,0 +1,29 @@
+"""Shared validation for vectorised batch-estimation inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+
+__all__ = ["check_item_ranges"]
+
+
+def check_item_ranges(starts: np.ndarray, ends: np.ndarray, domain_size: int) -> None:
+    """Validate parallel inclusive item-range vectors against ``[0, domain_size)``.
+
+    The single authority for the batch range checks of
+    :meth:`Histogram.range_sum_estimates` and
+    :meth:`WaveletSynopsis.range_sum_estimates`: equal shapes, every range
+    non-empty and inside the domain.  Raises :class:`SynopsisError` naming
+    the first offending range.
+    """
+    if starts.shape != ends.shape:
+        raise SynopsisError("range starts and ends must have equal length")
+    if starts.size == 0:
+        return
+    if starts.min() < 0 or ends.max() >= domain_size or np.any(ends < starts):
+        bad = np.flatnonzero((starts < 0) | (ends >= domain_size) | (ends < starts))[0]
+        raise SynopsisError(
+            f"range [{starts[bad]}, {ends[bad]}] outside the domain [0, {domain_size})"
+        )

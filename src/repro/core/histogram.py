@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import SynopsisError
+from ._validation import check_item_ranges
 
 __all__ = ["Bucket", "Histogram"]
 
@@ -175,6 +176,45 @@ class Histogram:
         total += self._reps[hi] * (end - self._starts[hi] + 1)
         total += self._prefix_mass[hi] - self._prefix_mass[lo + 1]
         return float(total)
+
+    # ------------------------------------------------------------------
+    # Vectorised batch estimation (the serving-layer primitives)
+    # ------------------------------------------------------------------
+    def estimate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Approximate frequencies of many items in one vectorised pass.
+
+        The batch counterpart of :meth:`estimate`: one ``searchsorted`` over
+        the cached bucket starts resolves every item, so the cost is
+        ``O(Q log B)`` with no per-query Python work.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.size and (items.min() < 0 or items.max() >= self._domain_size):
+            bad = items[(items < 0) | (items >= self._domain_size)][0]
+            raise SynopsisError(f"item {bad} outside the domain [0, {self._domain_size})")
+        indices = np.searchsorted(self._starts, items, side="right") - 1
+        return self._reps[indices]
+
+    def range_sum_estimates(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Estimated range sums for many inclusive ``[starts[i], ends[i]]`` ranges.
+
+        The batch counterpart of :meth:`range_sum_estimate`: two
+        ``searchsorted`` calls locate every range's first and last bucket and
+        the prefix-mass array supplies the interior, so the cost is
+        ``O(Q log B)`` for ``Q`` ranges regardless of how many buckets each
+        range crosses.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        check_item_ranges(starts, ends, self._domain_size)
+        if starts.size == 0:
+            return np.zeros(0, dtype=float)
+        lo = np.searchsorted(self._starts, starts, side="right") - 1
+        hi = np.searchsorted(self._starts, ends, side="right") - 1
+        single = lo == hi
+        totals = self._reps[lo] * (self._ends[lo] - starts + 1)
+        totals += self._reps[hi] * (ends - self._starts[hi] + 1)
+        totals += self._prefix_mass[hi] - self._prefix_mass[lo + 1]
+        return np.where(single, self._reps[lo] * (ends - starts + 1), totals)
 
     # ------------------------------------------------------------------
     # Construction helpers / serialisation

@@ -13,11 +13,12 @@ thresholding algorithms live in :mod:`repro.wavelets`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
 from ..exceptions import SynopsisError
+from ._validation import check_item_ranges
 
 __all__ = ["WaveletSynopsis"]
 
@@ -35,7 +36,7 @@ class WaveletSynopsis:
         The size ``n`` of the original ordered domain.
     """
 
-    __slots__ = ("_coefficients", "_domain_size", "_length")
+    __slots__ = ("_coefficients", "_domain_size", "_length", "_geometry")
 
     def __init__(self, coefficients: Mapping[int, float], domain_size: int):
         if domain_size <= 0:
@@ -54,6 +55,7 @@ class WaveletSynopsis:
         self._coefficients = dict(sorted(coeffs.items()))
         self._domain_size = int(domain_size)
         self._length = length
+        self._geometry = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -128,6 +130,82 @@ class WaveletSynopsis:
         if not 0 <= item < self._domain_size:
             raise SynopsisError(f"item {item} outside the domain [0, {self._domain_size})")
         return float(self.estimates()[item])
+
+    # ------------------------------------------------------------------
+    # Coefficient-tree batch evaluation (the serving-layer primitives)
+    # ------------------------------------------------------------------
+    def _coefficient_geometry(self):
+        """Cached per-coefficient ``(scaled value, support start, mid, end)`` arrays.
+
+        Each retained coefficient influences one contiguous support range of
+        the error tree: positively on ``[start, mid)`` and negatively on
+        ``[mid, end]`` (the overall average ``c_0`` is positive everywhere,
+        modelled as ``mid = end + 1``).  Evaluating queries directly against
+        these ``B`` ranges avoids reconstructing all ``N`` leaves.
+        """
+        if self._geometry is None:
+            from ..wavelets.haar import coefficient_support, normalisation_factors
+
+            indices = np.fromiter(self._coefficients, dtype=np.int64, count=len(self._coefficients))
+            values = np.array(list(self._coefficients.values()), dtype=float)
+            factors = normalisation_factors(self._length)
+            scaled = values / factors[indices] if indices.size else values
+            starts = np.empty(indices.size, dtype=np.int64)
+            mids = np.empty(indices.size, dtype=np.int64)
+            ends = np.empty(indices.size, dtype=np.int64)
+            for j, index in enumerate(indices):
+                start, end = coefficient_support(int(index), self._length)
+                starts[j] = start
+                ends[j] = end
+                mids[j] = end + 1 if index == 0 else (start + end + 1) // 2
+            self._geometry = (scaled, starts, mids, ends)
+        return self._geometry
+
+    def estimate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Approximate frequencies of many items in one vectorised pass.
+
+        A point estimate is the width-1 range sum, so this delegates to
+        :meth:`range_sum_estimates` (``O(Q B)`` dense NumPy work) instead of
+        running the ``O(N)`` inverse transform per query — small synopses
+        answer large batches without materialising the full reconstruction.
+        Bounds checking (items within ``[0, n)``) happens there too.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        return self.range_sum_estimates(items, items)
+
+    def range_sum_estimates(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Estimated range sums for many inclusive ``[starts[i], ends[i]]`` ranges.
+
+        A retained coefficient contributes ``value * (overlap with its
+        positive half - overlap with its negative half)`` to a range sum, so
+        each query reduces to clipped interval arithmetic against the ``B``
+        support ranges — again ``O(Q B)`` with no reconstruction.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        check_item_ranges(starts, ends, self._domain_size)
+        scaled, sup_starts, sup_mids, sup_ends = self._coefficient_geometry()
+        if scaled.size == 0 or starts.size == 0:
+            return np.zeros(starts.shape, dtype=float)
+        lo = starts[:, None]
+        hi = ends[:, None]
+        positive = np.maximum(
+            0, np.minimum(hi, sup_mids[None, :] - 1) - np.maximum(lo, sup_starts[None, :]) + 1
+        )
+        negative = np.maximum(
+            0, np.minimum(hi, sup_ends[None, :]) - np.maximum(lo, sup_mids[None, :]) + 1
+        )
+        return (positive - negative).astype(float) @ scaled
+
+    def range_sum_estimate(self, start: int, end: int) -> float:
+        """Estimated sum of frequencies over the inclusive item range ``[start, end]``.
+
+        The scalar counterpart of :meth:`range_sum_estimates`.
+        """
+        if end < start:
+            return 0.0
+        result = self.range_sum_estimates(np.array([start]), np.array([end]))
+        return float(result[0])
 
     # ------------------------------------------------------------------
     # Serialisation

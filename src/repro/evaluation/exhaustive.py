@@ -10,7 +10,7 @@ oracles' prefix-array algebra.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Union
 
 import numpy as np
 

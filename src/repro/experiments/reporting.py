@@ -8,9 +8,8 @@ output and EXPERIMENTS.md) and write CSV files for further analysis.
 from __future__ import annotations
 
 import csv
-import io
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Sequence, Union
 
 from .figure2 import HistogramQualityResult
 from .figure3 import TimingResult

@@ -6,6 +6,8 @@ from .text_format import (
     read_basic_text,
     read_model,
     read_synopsis,
+    synopsis_from_dict,
+    synopsis_to_dict,
     write_basic_text,
     write_model,
     write_synopsis,
@@ -18,6 +20,8 @@ __all__ = [
     "read_model",
     "read_basic_text",
     "write_basic_text",
+    "synopsis_to_dict",
+    "synopsis_from_dict",
     "write_synopsis",
     "read_synopsis",
 ]

@@ -30,6 +30,8 @@ __all__ = [
     "read_model",
     "read_basic_text",
     "write_basic_text",
+    "synopsis_to_dict",
+    "synopsis_from_dict",
     "write_synopsis",
     "read_synopsis",
 ]
@@ -141,14 +143,28 @@ def write_basic_text(model: BasicModel, path: PathLike) -> Path:
 # ----------------------------------------------------------------------
 # Synopses
 # ----------------------------------------------------------------------
+def synopsis_to_dict(synopsis: Union[Histogram, WaveletSynopsis]) -> dict:
+    """JSON-friendly self-describing representation of any supported synopsis."""
+    if isinstance(synopsis, Histogram):
+        return {"synopsis": "histogram", **synopsis.to_dict()}
+    if isinstance(synopsis, WaveletSynopsis):
+        return {"synopsis": "wavelet", **synopsis.to_dict()}
+    raise SynopsisError(f"cannot serialise synopsis of type {type(synopsis).__name__}")
+
+
+def synopsis_from_dict(payload: dict) -> Union[Histogram, WaveletSynopsis]:
+    """Inverse of :func:`synopsis_to_dict`."""
+    kind = payload.get("synopsis")
+    if kind == "histogram":
+        return Histogram.from_dict(payload)
+    if kind == "wavelet":
+        return WaveletSynopsis.from_dict(payload)
+    raise SynopsisError(f"unknown synopsis kind {kind!r} in payload")
+
+
 def write_synopsis(synopsis: Union[Histogram, WaveletSynopsis], path: PathLike) -> Path:
     """Write a histogram or wavelet synopsis to a JSON file."""
-    if isinstance(synopsis, Histogram):
-        payload = {"synopsis": "histogram", **synopsis.to_dict()}
-    elif isinstance(synopsis, WaveletSynopsis):
-        payload = {"synopsis": "wavelet", **synopsis.to_dict()}
-    else:
-        raise SynopsisError(f"cannot serialise synopsis of type {type(synopsis).__name__}")
+    payload = synopsis_to_dict(synopsis)
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2))
     return path
@@ -157,9 +173,7 @@ def write_synopsis(synopsis: Union[Histogram, WaveletSynopsis], path: PathLike) 
 def read_synopsis(path: PathLike) -> Union[Histogram, WaveletSynopsis]:
     """Read a synopsis written by :func:`write_synopsis`."""
     payload = json.loads(Path(path).read_text())
-    kind = payload.get("synopsis")
-    if kind == "histogram":
-        return Histogram.from_dict(payload)
-    if kind == "wavelet":
-        return WaveletSynopsis.from_dict(payload)
-    raise SynopsisError(f"unknown synopsis kind {kind!r} in {path}")
+    try:
+        return synopsis_from_dict(payload)
+    except SynopsisError as exc:
+        raise SynopsisError(f"{exc} (while reading {path})") from exc

@@ -21,7 +21,7 @@ need from any of them:
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ of the paper straightforward, vectorised NumPy operations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -17,7 +17,6 @@ is the special case of single-alternative tuples (see
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -13,7 +13,7 @@ non-negative reals, not just integer occurrence counts.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 

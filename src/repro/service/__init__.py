@@ -1,0 +1,40 @@
+"""Synopsis serving layer: cached store + vectorised batch query engine.
+
+The construction side of this package (``repro.histograms``,
+``repro.wavelets``, the :func:`~repro.core.builders.build_synopsis` front
+door) turns probabilistic data into small synopses; this subpackage is the
+deployment side that stands those synopses up against query traffic:
+
+* :class:`SynopsisStore` — content-addressed build cache (in-memory + JSON
+  on disk) so every (dataset, configuration) pair pays its dynamic program
+  exactly once;
+* :class:`BatchQueryEngine` / :func:`answer_batch` — vectorised evaluation
+  of mixed point / range-sum / range-avg :class:`QueryBatch` es, with
+  per-query expected-error attribution from the per-item expected errors;
+* :func:`generate_query_mix` / :func:`replay` — workload-driven traffic
+  generation and throughput/latency measurement.
+
+See the "serving layer" section of DESIGN.md for keying, invalidation and
+complexity notes.
+"""
+
+from .engine import BatchQueryEngine, answer_batch, answer_serial
+from .queries import POINT, QUERY_KINDS, RANGE_AVG, RANGE_SUM, QueryBatch
+from .replay import generate_query_mix, replay
+from .store import StoreStats, SynopsisStore, fingerprint_data
+
+__all__ = [
+    "SynopsisStore",
+    "StoreStats",
+    "fingerprint_data",
+    "QueryBatch",
+    "QUERY_KINDS",
+    "POINT",
+    "RANGE_SUM",
+    "RANGE_AVG",
+    "BatchQueryEngine",
+    "answer_batch",
+    "answer_serial",
+    "generate_query_mix",
+    "replay",
+]

@@ -1,0 +1,136 @@
+"""Workload replay: generate query mixes and measure serving throughput.
+
+The serving layer's end-to-end story: draw a mix of point / range-sum /
+range-avg queries from a :class:`~repro.core.workload.QueryWorkload`
+distribution (items and range anchors are sampled proportionally to the
+per-item query weights, so a skewed workload produces skewed traffic), then
+replay the mix against a :class:`~repro.service.engine.BatchQueryEngine` in
+batches and report throughput and per-batch latency percentiles.
+
+This is the measurement harness behind ``repro-synopses query --replay`` and
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.workload import QueryWorkload
+from ..exceptions import EvaluationError
+from .engine import BatchQueryEngine
+from .queries import QUERY_KINDS, QueryBatch
+
+__all__ = ["generate_query_mix", "replay"]
+
+
+def generate_query_mix(
+    domain_size: int,
+    count: int,
+    *,
+    workload: Optional[QueryWorkload] = None,
+    mix: Sequence[float] = (0.5, 0.3, 0.2),
+    mean_range_length: int = 16,
+    seed: Optional[int] = None,
+) -> QueryBatch:
+    """A random batch of ``count`` queries over ``[0, domain_size)``.
+
+    Parameters
+    ----------
+    workload:
+        Optional per-item query weights; items (for point queries) and range
+        anchors are drawn proportionally to them.  ``None`` samples uniformly.
+    mix:
+        Fractions of point / range-sum / range-avg queries (normalised).
+    mean_range_length:
+        Mean of the geometric range-length distribution; ranges are clipped
+        to the domain.
+    seed:
+        Seed for reproducible mixes.
+    """
+    if domain_size <= 0:
+        raise EvaluationError("domain_size must be positive")
+    if count < 0:
+        raise EvaluationError("the query count must be non-negative")
+    mix_arr = np.asarray(mix, dtype=float)
+    if mix_arr.shape != (len(QUERY_KINDS),) or np.any(mix_arr < 0) or mix_arr.sum() <= 0:
+        raise EvaluationError(
+            f"mix must be {len(QUERY_KINDS)} non-negative fractions (point, range_sum, range_avg)"
+        )
+    probabilities = None
+    if workload is not None:
+        weights = workload.for_domain(domain_size)
+        probabilities = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice(len(QUERY_KINDS), size=count, p=mix_arr / mix_arr.sum()).astype(np.int8)
+    anchors = rng.choice(domain_size, size=count, p=probabilities)
+    lengths = rng.geometric(1.0 / max(1, mean_range_length), size=count) - 1
+    starts = anchors.astype(np.int64)
+    ends = np.minimum(domain_size - 1, starts + lengths)
+    point_code = QUERY_KINDS.index("point")
+    ends[kinds == point_code] = starts[kinds == point_code]
+    return QueryBatch(kinds, starts, ends)
+
+
+def replay(
+    engine: BatchQueryEngine,
+    batch: QueryBatch,
+    *,
+    chunk_size: int = 1024,
+    compare_serial: bool = False,
+) -> Dict:
+    """Replay a query batch through the engine and measure serving speed.
+
+    The batch is answered in chunks of ``chunk_size`` (the shape a serving
+    tier would use for request batching); the report carries the total wall
+    time, throughput in queries/second and per-chunk latency percentiles.
+    With ``compare_serial=True`` the per-query reference loop is timed on the
+    same batch and its answers are checked to match the vectorised ones.
+    """
+    if chunk_size <= 0:
+        raise EvaluationError("chunk_size must be positive")
+    chunk_latencies = []
+    answers = np.empty(len(batch), dtype=float)
+    total_start = time.perf_counter()
+    for offset in range(0, len(batch), chunk_size):
+        chunk = QueryBatch(
+            batch.kinds[offset : offset + chunk_size],
+            batch.starts[offset : offset + chunk_size],
+            batch.ends[offset : offset + chunk_size],
+        )
+        chunk_start = time.perf_counter()
+        answers[offset : offset + len(chunk)] = engine.answer(chunk)
+        chunk_latencies.append(time.perf_counter() - chunk_start)
+    batch_seconds = time.perf_counter() - total_start
+    latencies_ms = 1000.0 * np.asarray(chunk_latencies if chunk_latencies else [0.0])
+    report: Dict[str, Union[int, float, Dict]] = {
+        "queries": len(batch),
+        "kind_counts": batch.kind_counts(),
+        "chunk_size": int(chunk_size),
+        "batch_seconds": batch_seconds,
+        "throughput_qps": len(batch) / batch_seconds if batch_seconds > 0 else float("inf"),
+        "chunk_latency_ms": {
+            "p50": float(np.percentile(latencies_ms, 50)),
+            "p95": float(np.percentile(latencies_ms, 95)),
+            "max": float(latencies_ms.max()),
+        },
+    }
+    if compare_serial:
+        serial_start = time.perf_counter()
+        serial_answers = engine.answer_serial(batch)
+        serial_seconds = time.perf_counter() - serial_start
+        if not np.allclose(serial_answers, answers):
+            raise EvaluationError(
+                "vectorised batch answers diverge from the per-query reference loop"
+            )
+        report["serial_seconds"] = serial_seconds
+        report["serial_throughput_qps"] = (
+            len(batch) / serial_seconds if serial_seconds > 0 else float("inf")
+        )
+        report["batch_speedup_vs_serial"] = (
+            serial_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+        )
+        report["answers_match_serial"] = True
+    return report

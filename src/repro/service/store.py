@@ -1,0 +1,273 @@
+"""Content-addressed synopsis store: build once, serve forever.
+
+A synopsis is fully determined by the data it summarises and the build
+configuration (synopsis kind, metric, sanity constant, budget, construction
+method, kernel, slack, SSE variant, workload).  :class:`SynopsisStore`
+therefore keys every built synopsis by the SHA-256 digest of
+
+* a **dataset fingerprint** — the digest of the model's canonical JSON
+  interchange form (or of the raw marginal arrays for precomputed
+  distributions), and
+* the **canonical build configuration**,
+
+and caches the result in memory and, optionally, on disk as JSON (via the
+:mod:`repro.io` interchange format).  Repeat builds — the common case for a
+serving tier that answers millions of queries against a handful of synopsis
+configurations — are cache hits that skip the dynamic program entirely.
+
+Cache invalidation is automatic: any change to the data or the configuration
+changes the key, and stale entries are simply never looked up again.  Kernel
+choice *is* part of the key even though every kernel returns an identical
+optimum; this keeps the store byte-reproducible per configuration and makes
+kernel ablations cache-friendly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..core.builders import build_synopsis
+from ..core.histogram import Histogram
+from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from ..core.wavelet import WaveletSynopsis
+from ..core.workload import QueryWorkload
+from ..exceptions import SynopsisError
+from ..io import model_to_dict, synopsis_from_dict, synopsis_to_dict
+from ..models.base import ProbabilisticModel
+from ..models.frequency import FrequencyDistributions
+
+__all__ = ["SynopsisStore", "StoreStats", "fingerprint_data"]
+
+Synopsis = Union[Histogram, WaveletSynopsis]
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fingerprint_data(data) -> str:
+    """Stable content fingerprint of a dataset.
+
+    Probabilistic models hash their canonical JSON interchange form, so a
+    model and its round-tripped copy share a fingerprint.  Precomputed
+    :class:`FrequencyDistributions` hash the value grid and probability
+    matrix bytes; plain frequency vectors hash their float64 bytes.
+    """
+    if isinstance(data, ProbabilisticModel):
+        canonical = json.dumps(model_to_dict(data), sort_keys=True, separators=(",", ":"))
+        return _digest(canonical.encode())
+    if isinstance(data, FrequencyDistributions):
+        hasher = hashlib.sha256()
+        hasher.update(np.ascontiguousarray(data.values, dtype=float).tobytes())
+        hasher.update(np.ascontiguousarray(data.probabilities, dtype=float).tobytes())
+        return hasher.hexdigest()
+    array = np.asarray(data, dtype=float)
+    if array.ndim != 1:
+        raise SynopsisError(f"cannot fingerprint data of type {type(data).__name__}")
+    return _digest(np.ascontiguousarray(array).tobytes())
+
+
+@dataclass
+class StoreStats:
+    """Counters describing how the store has been used."""
+
+    builds: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get_or_build`` calls served."""
+        return self.builds + self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "builds": self.builds,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+        }
+
+
+@dataclass
+class _Entry:
+    key: str
+    synopsis: Synopsis
+    config: Dict = field(default_factory=dict)
+
+
+class SynopsisStore:
+    """In-memory + on-disk cache of built synopses, keyed by content.
+
+    Parameters
+    ----------
+    directory:
+        Optional directory for the on-disk layer.  When given, every build is
+        persisted as ``<key>.json`` and survives the process; a fresh store
+        over the same directory serves those entries as disk hits.  Without a
+        directory the store is memory-only.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self._memory: Dict[str, _Entry] = {}
+        self._directory = None if directory is None else Path(directory)
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build_config(
+        *,
+        synopsis: str = "histogram",
+        budget: int,
+        metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+        sanity: float = DEFAULT_SANITY,
+        method: str = "optimal",
+        kernel: str = "auto",
+        epsilon: float = 0.1,
+        sse_variant: str = "fixed",
+    ) -> Dict:
+        """Canonical, JSON-stable build-configuration dictionary."""
+        spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
+        config = {
+            "synopsis": synopsis,
+            "budget": int(budget),
+            "metric": spec.metric.value,
+        }
+        # Like epsilon below, knobs the build ignores stay out of the key so
+        # they cannot fragment the cache: c only enters the relative metrics.
+        if spec.relative:
+            config["sanity"] = float(spec.sanity)
+        if synopsis == "histogram":
+            config["method"] = method
+            if method == "approximate":
+                config["epsilon"] = float(epsilon)
+            else:
+                config["kernel"] = kernel  # the approximate scheme has no kernel
+            if spec.metric is ErrorMetric.SSE:
+                config["sse_variant"] = sse_variant  # only the SSE oracle reads it
+        return config
+
+    def key_for(self, fingerprint: str, config: Dict, workload=None) -> str:
+        """Content-address of one (dataset, configuration, workload) triple."""
+        payload = {"data": fingerprint, "config": config}
+        if workload is not None:
+            weights = workload.weights if isinstance(workload, QueryWorkload) else workload
+            payload["workload"] = _digest(
+                np.ascontiguousarray(np.asarray(weights, dtype=float)).tobytes()
+            )
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return _digest(canonical.encode())
+
+    # ------------------------------------------------------------------
+    # Cache access
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Synopsis]:
+        """The cached synopsis under ``key``, or ``None`` (no stats update)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            return entry.synopsis
+        path = self._path_for(key)
+        if path is not None and path.exists():
+            payload = json.loads(path.read_text())
+            synopsis = synopsis_from_dict(payload["synopsis"])
+            self._memory[key] = _Entry(key, synopsis, payload.get("config", {}))
+            return synopsis
+        return None
+
+    def put(self, key: str, synopsis: Synopsis, config: Optional[Dict] = None) -> None:
+        """Insert a synopsis under an explicit key (memory and, if set, disk)."""
+        config = dict(config or {})
+        self._memory[key] = _Entry(key, synopsis, config)
+        self.stats.puts += 1
+        path = self._path_for(key)
+        if path is not None:
+            payload = {
+                "key": key,
+                "config": config,
+                "synopsis": synopsis_to_dict(synopsis),
+            }
+            # Write-then-rename so concurrent readers (and crashed writers)
+            # never observe a truncated entry: the key either resolves to a
+            # complete JSON document or does not exist yet.
+            scratch = path.with_suffix(f".tmp-{os.getpid()}")
+            scratch.write_text(json.dumps(payload, indent=2))
+            os.replace(scratch, path)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self._path_for(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self._directory is not None:
+            keys.update(p.stem for p in self._directory.glob("*.json"))
+        return len(keys)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries, if any, survive)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # The front door
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self,
+        data,
+        budget: int,
+        *,
+        synopsis: str = "histogram",
+        metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+        sanity: float = DEFAULT_SANITY,
+        method: str = "optimal",
+        kernel: str = "auto",
+        epsilon: float = 0.1,
+        sse_variant: str = "fixed",
+        workload=None,
+    ) -> Synopsis:
+        """The cached synopsis for this configuration, building it on a miss.
+
+        Accepts exactly the :func:`repro.core.builders.build_synopsis`
+        configuration surface.  Hits (memory or disk) skip the build
+        entirely; misses build, persist and return.  ``stats`` records which
+        path served each call.
+        """
+        config = self.build_config(
+            synopsis=synopsis, budget=budget, metric=metric, sanity=sanity,
+            method=method, kernel=kernel, epsilon=epsilon, sse_variant=sse_variant,
+        )
+        key = self.key_for(fingerprint_data(data), config, workload)
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[key].synopsis
+        cached = self.get(key)
+        if cached is not None:
+            self.stats.disk_hits += 1
+            return cached
+        spec = MetricSpec.of(metric, sanity)
+        built = build_synopsis(
+            data, budget, synopsis=synopsis, metric=spec, method=method,
+            kernel=kernel, epsilon=epsilon, sse_variant=sse_variant, workload=workload,
+        )
+        self.stats.builds += 1
+        self.put(key, built, config)
+        return built

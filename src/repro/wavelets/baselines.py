@@ -12,7 +12,7 @@ choosing the wrong coefficient *set*); both options are provided.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 import numpy as np
 

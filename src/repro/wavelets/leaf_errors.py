@@ -25,7 +25,6 @@ vectorised passes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -1,0 +1,111 @@
+"""End-to-end CLI coverage: experiments, serve-build and query on tiny data."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def model_path(tmp_path):
+    path = tmp_path / "model.json"
+    assert main(["generate", "--dataset", "sensors", "--domain-size", "48",
+                 "--seed", "3", "--output", str(path)]) == 0
+    return path
+
+
+class TestExperimentCommands:
+    @pytest.mark.parametrize("metric", ["sse", "sae"])
+    def test_figure2_metrics(self, metric, capsys):
+        assert main(["experiment", "figure2", "--dataset", "movies", "--domain-size", "24",
+                     "--metric", metric, "--budgets", "2", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "expectation" in out
+
+    @pytest.mark.parametrize("metric", ["sse", "sae"])
+    def test_figure4_metrics(self, metric, capsys):
+        assert main(["experiment", "figure4", "--dataset", "tpch", "--domain-size", "32",
+                     "--metric", metric, "--budgets", "2", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "probabilistic" in out
+        # Non-SSE metrics grow the restricted-DP curve next to the greedy ones.
+        assert (f"dp_{metric}" in out) == (metric != "sse")
+
+
+class TestServeBuild:
+    def test_build_then_cache_hit(self, model_path, tmp_path, capsys):
+        store = tmp_path / "store"
+        base = ["serve-build", "--input", str(model_path), "--store", str(store),
+                "--budget", "6", "--metric", "sae"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "fresh build" in first and "expected SAE" in first
+
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "from cache" in second and "1 disk hits" in second
+        assert len(list(store.glob("*.json"))) == 1
+
+    def test_store_entry_is_valid_synopsis_json(self, model_path, tmp_path):
+        store = tmp_path / "store"
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--budget", "5", "--synopsis", "wavelet"]) == 0
+        (entry_path,) = store.glob("*.json")
+        payload = json.loads(entry_path.read_text())
+        assert payload["config"]["synopsis"] == "wavelet"
+        assert payload["synopsis"]["synopsis"] == "wavelet"
+
+    def test_distinct_budgets_create_distinct_entries(self, model_path, tmp_path):
+        store = tmp_path / "store"
+        for budget in ("4", "8"):
+            assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                         "--budget", budget]) == 0
+        assert len(list(store.glob("*.json"))) == 2
+
+
+class TestQuery:
+    def test_explicit_queries_with_error_attribution(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--metric", "sae",
+                     "--point", "3", "--range", "0:15", "--avg", "8:23"]) == 0
+        out = capsys.readouterr().out
+        assert "expected error" in out
+        assert "point[3]" in out
+        assert "range_sum[0:15]" in out
+        assert "range_avg[8:23]" in out
+
+    def test_wavelet_queries(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "5", "--synopsis", "wavelet",
+                     "--point", "0", "--range", "0:47"]) == 0
+        out = capsys.readouterr().out
+        assert "point[0]" in out and "range_sum[0:47]" in out
+
+    def test_replay_reports_throughput(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--replay", "500", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 500 queries" in out and "queries/s" in out
+
+    def test_replay_with_explicit_queries_is_an_error(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--point", "3", "--replay", "100"]) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_no_queries_is_an_error(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6"]) == 2
+        assert "no queries given" in capsys.readouterr().err
+
+    def test_malformed_range_is_an_error(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--range", "nonsense"]) == 2
+        assert "START:END" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_parser_lists_serving_subcommands(self):
+        text = build_parser().format_help()
+        for command in ("serve-build", "query"):
+            assert command in text

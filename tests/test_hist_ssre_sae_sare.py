@@ -5,7 +5,6 @@ import pytest
 
 from repro import ValuePdfModel
 from repro.core.metrics import MetricSpec
-from repro.evaluation import exhaustive_expected_error
 from repro.histograms.sae import SaeCost
 from repro.histograms.sare import SareCost
 from repro.histograms.ssre import SsreCost

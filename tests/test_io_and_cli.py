@@ -149,7 +149,6 @@ class TestCli:
         assert "expectation" in capsys.readouterr().out
 
     def test_error_handling_returns_exit_code(self, tmp_path, capsys):
-        missing = tmp_path / "missing.json"
         bad_model = tmp_path / "bad.json"
         bad_model.write_text(json.dumps({"model": "mystery"}))
         code = main(["build-histogram", "--input", str(bad_model), "--output",

@@ -5,7 +5,7 @@ import itertools
 import numpy as np
 import pytest
 
-from repro import ErrorMetric, ValuePdfModel, WaveletSynopsis, build_wavelet, expected_error
+from repro import ErrorMetric, WaveletSynopsis, build_wavelet, expected_error
 from repro.evaluation import exhaustive_expected_error
 from repro.wavelets.coefficients import (
     coefficient_second_moments,
