@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import build_synopsis
+from repro import SynopsisSpec, build
 from repro.datasets import generate_tpch_lineitem
 from repro.evaluation import estimates_of
 from repro.histograms import sampled_world_histogram
@@ -41,8 +41,8 @@ def main() -> None:
     model = generate_tpch_lineitem(PARTS, LINEITEMS, seed=3)
     exact = model.expected_frequencies()
 
-    histogram = build_synopsis(model, BUCKETS, metric="sse")
-    wavelet = build_synopsis(model, BUCKETS, synopsis="wavelet", metric="sse")
+    histogram = build(model, SynopsisSpec(kind="histogram", budget=BUCKETS, metric="sse"))
+    wavelet = build(model, SynopsisSpec(kind="wavelet", budget=BUCKETS, metric="sse"))
     sampled = sampled_world_histogram(model, BUCKETS, "sse", rng=np.random.default_rng(3))
 
     synopsis_estimates = {

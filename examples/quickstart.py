@@ -20,9 +20,10 @@ import numpy as np
 from repro import (
     BasicModel,
     ErrorMetric,
+    SynopsisSpec,
     TuplePdfModel,
     ValuePdfModel,
-    build_synopsis,
+    build,
     expected_error,
 )
 from repro.datasets import zipf_value_pdf
@@ -46,7 +47,10 @@ def example1_models() -> None:
             f"{len(worlds)} possible worlds, E[g] = {np.round(model.expected_frequencies(), 4)}"
         )
 
-    histogram = build_synopsis(value_pdf, 2, metric=ErrorMetric.SSE)
+    # A build is described declaratively by a SynopsisSpec and executed by
+    # build(data, spec) — the same spec object drives the store and the CLI.
+    spec = SynopsisSpec(kind="histogram", budget=2, metric=ErrorMetric.SSE)
+    histogram = build(value_pdf, spec)
     print(f"\n  2-bucket SSE histogram of the value-pdf reading: {histogram.boundaries}")
     print(f"  representatives = {np.round(histogram.representatives, 4)}")
     print(f"  expected SSE     = {expected_error(value_pdf, histogram, 'sse'):.4f}")
@@ -65,7 +69,7 @@ def synthetic_walkthrough() -> None:
     print(f"\n  {'metric':<12}{'optimal':>12}{'expectation':>14}{'sampled world':>16}")
     rng = np.random.default_rng(7)
     for metric, sanity in [("sse", 1.0), ("ssre", 1.0), ("sae", 1.0), ("sare", 0.5)]:
-        optimal = build_synopsis(model, buckets, metric=metric, sanity=sanity)
+        optimal = build(model, SynopsisSpec(budget=buckets, metric=metric, sanity=sanity))
         expect = expectation_histogram(model, buckets, metric, sanity=sanity)
         sampled = sampled_world_histogram(model, buckets, metric, sanity=sanity, rng=rng)
         row = [
@@ -74,14 +78,14 @@ def synthetic_walkthrough() -> None:
         ]
         print(f"  {metric.upper():<12}{row[0]:>12.2f}{row[1]:>14.2f}{row[2]:>16.2f}")
 
-    wavelet = build_synopsis(model, 16, synopsis="wavelet", metric="sse")
+    wavelet = build(model, SynopsisSpec(kind="wavelet", budget=16, metric="sse"))
     print(
         f"\n  16-term wavelet synopsis: expected SSE = "
         f"{expected_error(model, wavelet, 'sse'):.2f} "
         f"(variance floor = {model.frequency_variances().sum():.2f})"
     )
 
-    histogram = build_synopsis(model, buckets, metric="sse")
+    histogram = build(model, SynopsisSpec(budget=buckets, metric="sse"))
     exact_range = model.expected_frequencies()[20:61].sum()
     approx_range = histogram.range_sum_estimate(20, 60)
     print(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import build_synopsis, expected_error, per_item_expected_errors
+from repro import SynopsisSpec, build, expected_error, per_item_expected_errors
 from repro.datasets import generate_sensor_readings
 
 SENSORS = 128
@@ -46,7 +46,7 @@ def main() -> None:
     expected = model.expected_frequencies()
 
     # --- Wavelet synopsis of the expected signal (SSE-optimal, Theorem 7) ----
-    wavelet = build_synopsis(model, WAVELET_TERMS, synopsis="wavelet", metric="sse")
+    wavelet = build(model, SynopsisSpec(kind="wavelet", budget=WAVELET_TERMS, metric="sse"))
     reconstruction = wavelet.estimates()
     print(f"expected signal : {sparkline(expected)}")
     print(f"{WAVELET_TERMS}-term wavelet : {sparkline(reconstruction)}")
@@ -56,8 +56,8 @@ def main() -> None:
     )
 
     # --- Max-relative-error histogram (per-sensor guarantee) -----------------
-    mare_histogram = build_synopsis(model, HISTOGRAM_BUCKETS, metric="mare", sanity=1.0)
-    sse_histogram = build_synopsis(model, HISTOGRAM_BUCKETS, metric="sse")
+    mare_histogram = build(model, SynopsisSpec(budget=HISTOGRAM_BUCKETS, metric="mare", sanity=1.0))
+    sse_histogram = build(model, SynopsisSpec(budget=HISTOGRAM_BUCKETS, metric="sse"))
 
     mare_of = lambda synopsis: per_item_expected_errors(model, synopsis, "mare", sanity=1.0)
     print(f"{HISTOGRAM_BUCKETS}-bucket histograms, per-sensor expected relative error:")

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import QueryWorkload, build_synopsis, expected_error, per_item_expected_errors
+from repro import (
+    QueryWorkload,
+    SynopsisSpec,
+    build,
+    expected_error,
+    per_item_expected_errors,
+)
 from repro.datasets import zipf_value_pdf
 
 DOMAIN = 256
@@ -40,8 +46,12 @@ def main() -> None:
     cold = np.ones(DOMAIN, dtype=bool)
     cold[hot] = False
 
-    oblivious = build_synopsis(model, BUCKETS, metric=METRIC)
-    aware = build_synopsis(model, BUCKETS, metric=METRIC, workload=workload)
+    # Two specs that differ only in the workload field — the workload is part
+    # of the build description (and of the serving-layer cache key).
+    oblivious_spec = SynopsisSpec(budget=BUCKETS, metric=METRIC)
+    aware_spec = SynopsisSpec(budget=BUCKETS, metric=METRIC, workload=workload)
+    oblivious = build(model, oblivious_spec)
+    aware = build(model, aware_spec)
 
     def report(name, histogram):
         weighted = expected_error(model, histogram, METRIC, workload=workload)
@@ -70,11 +80,14 @@ def main() -> None:
     # coefficient-tree DP — and a budget *sweep* costs one tabulation, not
     # one DP run per budget.
     print(f"\nWorkload-aware wavelets (restricted DP, budgets {COEFFICIENT_BUDGETS}):")
-    aware_wavelets = build_synopsis(
-        model, COEFFICIENT_BUDGETS, synopsis="wavelet", metric=METRIC, workload=workload
+    aware_wavelets = build(
+        model,
+        SynopsisSpec(
+            kind="wavelet", budget=tuple(COEFFICIENT_BUDGETS), metric=METRIC, workload=workload
+        ),
     )
     for budget, wavelet in zip(COEFFICIENT_BUDGETS, aware_wavelets):
-        oblivious_wavelet = build_synopsis(model, budget, synopsis="wavelet", metric=METRIC)
+        oblivious_wavelet = build(model, SynopsisSpec(kind="wavelet", budget=budget, metric=METRIC))
         aware_err = expected_error(model, wavelet, METRIC, workload=workload)
         oblivious_err = expected_error(model, oblivious_wavelet, METRIC, workload=workload)
         print(f"  {budget:>3} terms: weighted error {aware_err:10.1f} aware "

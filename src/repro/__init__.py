@@ -8,10 +8,12 @@ The public API re-exported here covers the typical workflow:
 
 1. describe the uncertain data with one of the models
    (:class:`BasicModel`, :class:`TuplePdfModel`, :class:`ValuePdfModel`);
-2. build a synopsis with :func:`build_histogram` or :func:`build_wavelet`
-   under an :class:`ErrorMetric`;
-3. evaluate it with :func:`expected_error`, or query it through
-   ``Histogram.estimates()`` / ``WaveletSynopsis.estimates()``.
+2. describe the synopsis with a :class:`SynopsisSpec` (kind, budget,
+   :class:`ErrorMetric`, construction knobs) and build it with
+   :func:`build` — or use the :func:`build_synopsis` /
+   :func:`build_histogram` / :func:`build_wavelet` keyword shims;
+3. evaluate it with :func:`expected_error`, or query it through the
+   :class:`Synopsis` protocol (``estimates()``, ``range_sum_estimates``...).
 
 Lower-level building blocks (bucket-cost oracles, the dynamic programs, the
 Haar substrate, dataset generators and the experiment harness) live in the
@@ -27,14 +29,19 @@ from .core import (
     Histogram,
     MetricSpec,
     QueryWorkload,
+    Synopsis,
+    SynopsisSpec,
     WaveletSynopsis,
+    build,
     build_histogram,
     build_synopsis,
     build_wavelet,
     point_error,
+    synopsis_kinds,
 )
 from .evaluation import expected_error, per_item_expected_errors
 from .exceptions import (
+    BudgetClampWarning,
     DomainError,
     EvaluationError,
     ModelValidationError,
@@ -72,18 +79,23 @@ __all__ = [
     "Bucket",
     "Histogram",
     "WaveletSynopsis",
+    "Synopsis",
+    "SynopsisSpec",
+    "synopsis_kinds",
     "QueryWorkload",
     # builders and evaluation
+    "build",
     "build_synopsis",
     "build_histogram",
     "build_wavelet",
     "expected_error",
     "per_item_expected_errors",
-    # exceptions
+    # exceptions and warnings
     "ReproError",
     "ModelValidationError",
     "DomainError",
     "SynopsisError",
     "EvaluationError",
     "WorldEnumerationError",
+    "BudgetClampWarning",
 ]

@@ -24,7 +24,9 @@ Installed as ``repro-synopses``.  Sub-commands:
 ``serve-build``
     Build (or fetch from a :class:`repro.service.SynopsisStore` cache) a
     synopsis for serving; repeat invocations with the same data and
-    configuration are cache hits that skip the dynamic program.
+    configuration are cache hits that skip the dynamic program.  The build
+    configuration is either the individual flags or a serialized
+    :class:`repro.core.SynopsisSpec` passed as ``--spec FILE``.
 
 ``query``
     Answer point / range-sum / range-avg queries against a served synopsis
@@ -39,8 +41,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .core.builders import build_synopsis
+from .core.builders import build
 from .core.metrics import DEFAULT_SANITY, ErrorMetric
+from .core.spec import DEFAULT_EPSILON, DEFAULT_SSE_VARIANT, SynopsisSpec
 from .datasets import generate_movie_linkage, generate_sensor_readings, generate_tpch_lineitem
 from .evaluation.errors import expected_error
 from .exceptions import ReproError
@@ -61,6 +64,18 @@ __all__ = ["main", "build_parser"]
 _METRIC_CHOICES = [metric.value for metric in ErrorMetric]
 _DATASET_CHOICES = ["movies", "tpch", "sensors"]
 _KERNEL_CHOICES = [AUTO_KERNEL, *available_kernels()]
+
+# Single source of the serving-command build-flag defaults: the parser reads
+# them, and --spec conflict detection compares against them.
+_SERVING_DEFAULTS = {
+    "synopsis": "histogram",
+    "metric": "sse",
+    "sanity": DEFAULT_SANITY,
+    "method": "optimal",
+    "kernel": AUTO_KERNEL,
+    "epsilon": DEFAULT_EPSILON,
+    "sse_variant": DEFAULT_SSE_VARIANT,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,18 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
     serving_config = argparse.ArgumentParser(add_help=False)
     serving_config.add_argument("--input", required=True, help="model JSON file")
     serving_config.add_argument("--store", required=True, help="synopsis store directory")
-    serving_config.add_argument("--budget", type=int, required=True,
+    serving_config.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="SynopsisSpec JSON file; replaces the individual build flags",
+    )
+    serving_config.add_argument("--budget", type=int, default=None,
                                 help="bucket / coefficient budget B")
     serving_config.add_argument(
-        "--synopsis", choices=["histogram", "wavelet"], default="histogram"
+        "--synopsis", choices=["histogram", "wavelet"],
+        default=_SERVING_DEFAULTS["synopsis"],
     )
-    serving_config.add_argument("--metric", choices=_METRIC_CHOICES, default="sse")
-    serving_config.add_argument("--sanity", type=float, default=DEFAULT_SANITY,
+    serving_config.add_argument("--metric", choices=_METRIC_CHOICES,
+                                default=_SERVING_DEFAULTS["metric"])
+    serving_config.add_argument("--sanity", type=float, default=_SERVING_DEFAULTS["sanity"],
                                 help="sanity constant c")
-    serving_config.add_argument("--method", choices=["optimal", "approximate"], default="optimal")
-    serving_config.add_argument("--epsilon", type=float, default=0.1)
-    serving_config.add_argument("--kernel", choices=_KERNEL_CHOICES, default=AUTO_KERNEL)
-    serving_config.add_argument("--sse-variant", choices=["fixed", "paper"], default="fixed")
+    serving_config.add_argument("--method", choices=["optimal", "approximate"],
+                                default=_SERVING_DEFAULTS["method"])
+    serving_config.add_argument("--epsilon", type=float, default=_SERVING_DEFAULTS["epsilon"])
+    serving_config.add_argument("--kernel", choices=_KERNEL_CHOICES,
+                                default=_SERVING_DEFAULTS["kernel"])
+    serving_config.add_argument("--sse-variant", choices=["fixed", "paper"],
+                                default=_SERVING_DEFAULTS["sse_variant"])
 
     subparsers.add_parser(
         "serve-build", parents=[serving_config],
@@ -210,15 +234,49 @@ def _run_experiment(args: argparse.Namespace) -> str:
     return wavelet_quality_table(result)
 
 
-def _store_get_or_build(args: argparse.Namespace, model):
-    """Shared serve-build/query path: fetch the synopsis through the store."""
-    from .service import SynopsisStore
+def _serving_spec(args: argparse.Namespace) -> SynopsisSpec:
+    """The build spec of a serve-build/query invocation.
 
-    store = SynopsisStore(args.store)
-    synopsis = store.get_or_build(
-        model,
-        args.budget,
-        synopsis=args.synopsis,
+    ``--spec FILE`` loads a serialized :class:`SynopsisSpec` verbatim;
+    otherwise the individual flags assemble one.  Either way the serving
+    layer receives a single validated spec object.
+    """
+    if args.spec is not None:
+        from pathlib import Path
+
+        # The spec file is the whole build configuration: reject conflicting
+        # flags instead of silently ignoring them (--budget alone may narrow
+        # a sweep spec to one of its declared budgets).
+        overridden = [
+            f"--{name.replace('_', '-')}"
+            for name, default in _SERVING_DEFAULTS.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            raise ReproError(
+                f"--spec carries the full build configuration; drop {', '.join(overridden)} "
+                "or edit the spec file"
+            )
+        spec = SynopsisSpec.from_json(Path(args.spec).read_text())
+        if args.budget is not None:
+            if args.budget not in spec.budgets:
+                declared = "/".join(str(b) for b in spec.budgets)
+                raise ReproError(
+                    f"--budget {args.budget} is not declared by the spec "
+                    f"(budgets: {declared}); edit the spec file instead"
+                )
+            spec = spec.with_budget(args.budget)
+        elif spec.is_sweep:
+            raise ReproError(
+                "the spec file declares a budget sweep; pick the budget to "
+                "serve with --budget B"
+            )
+        return spec
+    if args.budget is None:
+        raise ReproError("give --budget B (or a full --spec FILE)")
+    return SynopsisSpec(
+        kind=args.synopsis,
+        budget=args.budget,
         metric=args.metric,
         sanity=args.sanity,
         method=args.method,
@@ -226,19 +284,28 @@ def _store_get_or_build(args: argparse.Namespace, model):
         epsilon=args.epsilon,
         sse_variant=args.sse_variant,
     )
-    return store, synopsis
+
+
+def _store_get_or_build(args: argparse.Namespace, model):
+    """Shared serve-build/query path: fetch the synopsis through the store."""
+    from .service import SynopsisStore
+
+    store = SynopsisStore(args.store)
+    spec = _serving_spec(args)
+    synopsis = store.get_or_build(model, spec)
+    return store, spec, synopsis
 
 
 def _serve_build(args: argparse.Namespace) -> str:
     model = read_model(args.input)
-    store, synopsis = _store_get_or_build(args, model)
+    store, spec, synopsis = _store_get_or_build(args, model)
     stats = store.stats
     served_from = "cache" if stats.memory_hits or stats.disk_hits else "fresh build"
-    error = expected_error(model, synopsis, args.metric, sanity=args.sanity)
+    error = expected_error(model, synopsis, spec.metric)
     return (
-        f"served {synopsis!r} from {served_from} "
+        f"served {synopsis!r} [{spec.describe()}] from {served_from} "
         f"(store: {stats.builds} built, {stats.disk_hits} disk hits); "
-        f"expected {args.metric.upper()} = {error:.6g}"
+        f"expected {spec.metric.describe()} = {error:.6g}"
     )
 
 
@@ -260,8 +327,8 @@ def _run_query(args: argparse.Namespace) -> str:
         )
 
     model = read_model(args.input)
-    _, synopsis = _store_get_or_build(args, model)
-    engine = BatchQueryEngine.from_model(synopsis, model, args.metric, sanity=args.sanity)
+    _, spec, synopsis = _store_get_or_build(args, model)
+    engine = BatchQueryEngine.from_model(synopsis, model, spec.metric, workload=spec.workload)
 
     if args.replay:
         # The per-query reference loop is O(N) per wavelet point query, so it
@@ -305,10 +372,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "build-histogram":
             model = read_model(args.input)
-            histogram = build_synopsis(
-                model,
-                args.buckets,
-                synopsis="histogram",
+            spec = SynopsisSpec(
+                kind="histogram",
+                budget=args.buckets,
                 metric=args.metric,
                 sanity=args.sanity,
                 method=args.method,
@@ -316,20 +382,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 epsilon=args.epsilon,
                 sse_variant=args.sse_variant,
             )
+            histogram = build(model, spec)
             write_synopsis(histogram, args.output)
-            error = expected_error(model, histogram, args.metric, sanity=args.sanity)
+            error = expected_error(model, histogram, spec.metric)
             print(
                 f"wrote {args.output}: {histogram.bucket_count} buckets, "
                 f"expected {args.metric.upper()} = {error:.6g}"
             )
         elif args.command == "build-wavelet":
             model = read_model(args.input)
-            synopsis = build_synopsis(
-                model, args.coefficients, synopsis="wavelet",
-                metric=args.metric, sanity=args.sanity,
+            spec = SynopsisSpec(
+                kind="wavelet",
+                budget=args.coefficients,
+                metric=args.metric,
+                sanity=args.sanity,
             )
+            synopsis = build(model, spec)
             write_synopsis(synopsis, args.output)
-            error = expected_error(model, synopsis, args.metric, sanity=args.sanity)
+            error = expected_error(model, synopsis, spec.metric)
             print(
                 f"wrote {args.output}: {synopsis.term_count} coefficients, "
                 f"expected {args.metric.upper()} = {error:.6g}"

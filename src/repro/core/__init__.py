@@ -1,6 +1,6 @@
-"""Core abstractions: error metrics, synopsis value objects and top-level builders."""
+"""Core abstractions: metrics, specs, the synopsis protocol and builders."""
 
-from .builders import build_histogram, build_synopsis, build_wavelet
+from .builders import build, build_histogram, build_synopsis, build_wavelet, register_builder
 from .histogram import Bucket, Histogram
 from .metrics import (
     DEFAULT_SANITY,
@@ -12,6 +12,8 @@ from .metrics import (
     is_squared,
     point_error,
 )
+from .spec import SynopsisSpec
+from .synopsis import Synopsis, register_synopsis, synopsis_class, synopsis_kinds
 from .wavelet import WaveletSynopsis
 from .workload import QueryWorkload
 
@@ -28,6 +30,13 @@ __all__ = [
     "Bucket",
     "Histogram",
     "WaveletSynopsis",
+    "Synopsis",
+    "SynopsisSpec",
+    "register_synopsis",
+    "register_builder",
+    "synopsis_class",
+    "synopsis_kinds",
+    "build",
     "build_synopsis",
     "build_histogram",
     "build_wavelet",

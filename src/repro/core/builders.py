@@ -1,20 +1,20 @@
 """Top-level synopsis builders: the package's main entry points.
 
-:func:`build_synopsis` is the single front door for synopsis construction:
-one call covering histograms *and* wavelets under one configuration (data,
-budget, metric, construction method, DP kernel, approximation slack,
-workload).  It accepts any probabilistic model (or precomputed per-item
-marginals, or a plain deterministic frequency vector), accepts either one
-budget or a whole budget sweep (sharing a single DP run across the sweep),
-and returns :class:`~repro.core.histogram.Histogram` /
-:class:`~repro.core.wavelet.WaveletSynopsis` objects ready for estimation
-and evaluation.  :func:`build_histogram` and :func:`build_wavelet` are thin
-single-kind wrappers kept for convenience and backwards compatibility.
+:func:`build` is the typed front door: it takes the data and a declarative
+:class:`~repro.core.spec.SynopsisSpec` and returns the described synopsis
+(or, for a budget-sweep spec, one synopsis per budget — served by a single
+DP run).  Construction is dispatched through a per-kind builder registry, so
+a new synopsis kind plugs in with one :func:`register_builder` call.
+
+:func:`build_synopsis`, :func:`build_histogram` and :func:`build_wavelet`
+are thin keyword-argument shims over :func:`build`, kept so existing callers
+(and quick interactive use) keep working unchanged; they simply assemble the
+spec and delegate.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Callable, Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -23,18 +23,42 @@ from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
 from .histogram import Histogram
 from .metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from .spec import DEFAULT_EPSILON, DEFAULT_KERNEL, DEFAULT_SSE_VARIANT, SynopsisSpec
+from .synopsis import Synopsis
 from .wavelet import WaveletSynopsis
 
-__all__ = ["build_synopsis", "build_histogram", "build_wavelet"]
+__all__ = [
+    "build",
+    "build_synopsis",
+    "build_histogram",
+    "build_wavelet",
+    "register_builder",
+]
 
 DataLike = Union[ProbabilisticModel, FrequencyDistributions, np.ndarray, Sequence[float]]
-Synopsis = Union[Histogram, WaveletSynopsis]
+NormalisedData = Union[ProbabilisticModel, FrequencyDistributions]
 
-_SYNOPSIS_KINDS = ("histogram", "wavelet")
-_HISTOGRAM_METHODS = ("optimal", "approximate")
+#: A kind builder: (normalised data, spec) -> one synopsis per spec budget.
+KindBuilder = Callable[[NormalisedData, SynopsisSpec], List[Synopsis]]
+
+_BUILDERS: Dict[str, KindBuilder] = {}
 
 
-def _as_data(data: DataLike) -> Union[ProbabilisticModel, FrequencyDistributions]:
+def register_builder(kind: str):
+    """Register the construction function for one synopsis kind.
+
+    The function receives the normalised data and the (validated) spec and
+    must return one synopsis per entry of ``spec.budgets``, in order.
+    """
+
+    def decorate(fn: KindBuilder) -> KindBuilder:
+        _BUILDERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def _as_data(data: DataLike) -> NormalisedData:
     """Normalise the accepted input types to a model or dense marginals."""
     if isinstance(data, (ProbabilisticModel, FrequencyDistributions)):
         return data
@@ -47,31 +71,8 @@ def _as_data(data: DataLike) -> Union[ProbabilisticModel, FrequencyDistributions
     return FrequencyDistributions.deterministic(array)
 
 
-def _as_budget(value) -> int:
-    """Coerce one budget entry, rejecting non-integral values loudly.
-
-    A float budget is almost always a bug (``n / 4`` in the caller); silently
-    truncating it would hand back a smaller synopsis than asked for.
-    """
-    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
-        return int(value)
-    raise SynopsisError(f"the budget must be an integer, got {value!r}")
-
-
-def build_synopsis(
-    data: DataLike,
-    budget: Union[int, Sequence[int]],
-    *,
-    synopsis: str = "histogram",
-    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
-    sanity: float = DEFAULT_SANITY,
-    method: str = "optimal",
-    kernel: str = "auto",
-    epsilon: float = 0.1,
-    sse_variant: str = "fixed",
-    workload=None,
-) -> Union[Synopsis, List[Synopsis]]:
-    """Build a histogram or wavelet synopsis of probabilistic data.
+def build(data: DataLike, spec: SynopsisSpec) -> Union[Synopsis, List[Synopsis]]:
+    """Build the synopsis (or budget sweep of synopses) a spec describes.
 
     Parameters
     ----------
@@ -79,97 +80,52 @@ def build_synopsis(
         A probabilistic model (basic / tuple-pdf / value-pdf), precomputed
         :class:`FrequencyDistributions`, or a plain deterministic frequency
         vector.
-    budget:
-        The space budget — bucket count for histograms, retained-coefficient
-        count for wavelets.  A sequence of budgets returns one synopsis per
-        budget; for optimal histograms the whole sweep is served by a single
-        dynamic-program run (``B`` times cheaper than building one by one).
-    synopsis:
-        ``"histogram"`` (default) or ``"wavelet"``.
-    metric:
-        Error objective; one of the :class:`ErrorMetric` members or their
-        lower-case names.  Cumulative metrics minimise the expected total
-        error; maximum metrics minimise the largest per-item expected error.
-    sanity:
-        Sanity constant ``c`` for the relative metrics.
-    method:
-        Histograms only: ``"optimal"`` runs the exact dynamic program,
-        ``"approximate"`` the ``(1 + epsilon)`` scheme of Section 3.5
-        (cumulative metrics only).
-    kernel:
-        Optimal histograms only: which DP kernel solves the recurrence —
-        ``"auto"`` (default; fastest kernel the cost oracle certifies),
-        ``"exact"``, ``"vectorized"`` or ``"divide_conquer"``.  Unsuitable
-        explicit choices fall back automatically, so the kernel never
-        changes the optimum, only the speed.
-    epsilon:
-        Approximation slack for ``method="approximate"``.
-    sse_variant:
-        ``"fixed"`` (default, the Section 2.3 objective) or ``"paper"``
-        (Eq. 5); only meaningful for the SSE metric.
-    workload:
-        Optional per-item query weights (:class:`repro.core.workload.QueryWorkload`
-        or a plain weight sequence).  When given, the construction minimises
-        the workload-weighted objective — the extension sketched in the
-        paper's concluding remarks.
+    spec:
+        The declarative build description; see :class:`SynopsisSpec`.  The
+        spec was validated at construction, so only data-dependent checks
+        (workload shape, budget vs. domain size) happen here.
+
+    Returns one :class:`~repro.core.synopsis.Synopsis` for a scalar-budget
+    spec, a list (one per budget, in spec order) for a sweep spec.
     """
-    if synopsis not in _SYNOPSIS_KINDS:
+    if not isinstance(spec, SynopsisSpec):
         raise SynopsisError(
-            f"unknown synopsis kind {synopsis!r}; expected one of {_SYNOPSIS_KINDS}"
+            f"build expects a SynopsisSpec, got {type(spec).__name__}; "
+            "use build_synopsis(...) for the keyword form"
         )
-    spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
-    single = np.isscalar(budget) or isinstance(budget, (int, np.integer))
-    budgets = [_as_budget(budget)] if single else [_as_budget(b) for b in budget]
-    if not budgets:
-        return []
+    builder = _BUILDERS.get(spec.kind)
+    if builder is None:
+        raise SynopsisError(f"no builder registered for synopsis kind {spec.kind!r}")
     normalised = _as_data(data)
-
-    if synopsis == "wavelet":
-        results = _build_wavelets(normalised, budgets, spec, workload)
-    else:
-        results = _build_histograms(
-            normalised, budgets, spec,
-            method=method, kernel=kernel, epsilon=epsilon,
-            sse_variant=sse_variant, workload=workload,
-        )
-    return results[0] if single else results
+    spec.validate_for_domain(normalised.domain_size)
+    results = builder(normalised, spec)
+    return list(results) if spec.is_sweep else results[0]
 
 
-def _build_histograms(
-    data: Union[ProbabilisticModel, FrequencyDistributions],
-    budgets: List[int],
-    spec: MetricSpec,
-    *,
-    method: str,
-    kernel: str,
-    epsilon: float,
-    sse_variant: str,
-    workload,
-) -> List[Synopsis]:
+@register_builder("histogram")
+def _build_histograms(data: NormalisedData, spec: SynopsisSpec) -> List[Synopsis]:
     from ..histograms.approx import approximate_histogram
     from ..histograms.factory import make_cost_function, solve_histogram_dp
 
-    if method not in _HISTOGRAM_METHODS:
-        raise SynopsisError(
-            f"unknown construction method {method!r}; expected 'optimal' or 'approximate'"
+    budgets = spec.budgets
+    if spec.method == "approximate":
+        cost_fn = make_cost_function(
+            data, spec.metric, sse_variant=spec.sse_variant, workload=spec.workload
         )
-    if any(b < 1 for b in budgets):
-        raise SynopsisError("the bucket budget must be at least 1")
-    if method == "approximate":
-        cost_fn = make_cost_function(data, spec, sse_variant=sse_variant, workload=workload)
-        return [approximate_histogram(cost_fn, b, epsilon) for b in budgets]
+        return [approximate_histogram(cost_fn, b, spec.epsilon) for b in budgets]
     dp = solve_histogram_dp(
-        data, spec, max(budgets), kernel=kernel, sse_variant=sse_variant, workload=workload
+        data,
+        spec.metric,
+        max(budgets),
+        kernel=spec.kernel,
+        sse_variant=spec.sse_variant,
+        workload=spec.workload,
     )
     return [dp.histogram(min(b, dp.max_buckets)) for b in budgets]
 
 
-def _build_wavelets(
-    data: Union[ProbabilisticModel, FrequencyDistributions],
-    budgets: List[int],
-    spec: MetricSpec,
-    workload,
-) -> List[Synopsis]:
+@register_builder("wavelet")
+def _build_wavelets(data: NormalisedData, spec: SynopsisSpec) -> List[Synopsis]:
     """Wavelet synopses: SSE thresholding or the restricted-tree DP.
 
     For the SSE metric this is the ``O(n)`` optimal thresholding of the
@@ -183,23 +139,60 @@ def _build_wavelets(
     from ..wavelets.nonsse import restricted_wavelet_sweep
     from ..wavelets.sse import sse_optimal_wavelet
 
-    if any(b < 0 for b in budgets):
-        raise SynopsisError("the coefficient budget must be non-negative")
-    if spec.metric is ErrorMetric.SSE and workload is None:
+    budgets = spec.budgets
+    if spec.metric.metric is ErrorMetric.SSE and spec.workload is None:
         return [sse_optimal_wavelet(data, b) for b in budgets]
-    return restricted_wavelet_sweep(data, budgets, spec, workload=workload)
+    return restricted_wavelet_sweep(data, list(budgets), spec.metric, workload=spec.workload)
+
+
+# ----------------------------------------------------------------------
+# Keyword-argument shims (the pre-spec API surface, kept stable)
+# ----------------------------------------------------------------------
+def build_synopsis(
+    data: DataLike,
+    budget: Union[int, Sequence[int]],
+    *,
+    synopsis: str = "histogram",
+    metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+    sanity: float = DEFAULT_SANITY,
+    method: str = "optimal",
+    kernel: str = DEFAULT_KERNEL,
+    epsilon: float = DEFAULT_EPSILON,
+    sse_variant: str = DEFAULT_SSE_VARIANT,
+    workload=None,
+) -> Union[Synopsis, List[Synopsis]]:
+    """Build a histogram or wavelet synopsis of probabilistic data.
+
+    Keyword shim over :func:`build`: the arguments are exactly the fields of
+    :class:`SynopsisSpec` (see there for semantics); the spec is assembled
+    and validated here, so malformed configurations fail before any data is
+    touched.  A sequence of budgets returns one synopsis per budget, with
+    the whole sweep served by a single DP run where the kind supports it.
+    """
+    spec = SynopsisSpec(
+        kind=synopsis,
+        budget=budget,
+        metric=metric,
+        sanity=sanity,
+        method=method,
+        kernel=kernel,
+        epsilon=epsilon,
+        sse_variant=sse_variant,
+        workload=workload,
+    )
+    return build(data, spec)
 
 
 def build_histogram(
     data: DataLike,
-    buckets: int,
+    buckets: Union[int, Sequence[int]],
     metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
     *,
     sanity: float = DEFAULT_SANITY,
     method: str = "optimal",
-    kernel: str = "auto",
-    epsilon: float = 0.1,
-    sse_variant: str = "fixed",
+    kernel: str = DEFAULT_KERNEL,
+    epsilon: float = DEFAULT_EPSILON,
+    sse_variant: str = DEFAULT_SSE_VARIANT,
     workload=None,
 ) -> Histogram:
     """Build a ``buckets``-bucket histogram synopsis of probabilistic data.
@@ -223,7 +216,7 @@ def build_histogram(
 
 def build_wavelet(
     data: DataLike,
-    coefficients: int,
+    coefficients: Union[int, Sequence[int]],
     metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
     *,
     sanity: float = DEFAULT_SANITY,

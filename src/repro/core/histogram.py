@@ -16,6 +16,7 @@ import numpy as np
 
 from ..exceptions import SynopsisError
 from ._validation import check_item_ranges
+from .synopsis import Synopsis, register_synopsis
 
 __all__ = ["Bucket", "Histogram"]
 
@@ -45,7 +46,8 @@ class Bucket:
         return f"Bucket([{self.start}, {self.end}], rep={self.representative:.6g})"
 
 
-class Histogram:
+@register_synopsis("histogram")
+class Histogram(Synopsis):
     """A bucket histogram over the ordered domain ``[0, n)``.
 
     Parameters
@@ -106,6 +108,11 @@ class Histogram:
     def bucket_count(self) -> int:
         """Number of buckets ``B`` (the space budget)."""
         return len(self._buckets)
+
+    @property
+    def size(self) -> int:
+        """Space consumed in budget units (the :class:`Synopsis` protocol view)."""
+        return self.bucket_count
 
     @property
     def boundaries(self) -> List[Tuple[int, int]]:

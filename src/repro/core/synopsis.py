@@ -1,0 +1,156 @@
+"""The :class:`Synopsis` protocol and the synopsis-kind registry.
+
+Every synopsis the package can build — today a bucket histogram or a sparse
+Haar-coefficient set, tomorrow perhaps a sketch — supports the same read
+surface: scalar and vectorised frequency estimation, range sums, and a
+JSON-friendly ``to_dict``/``from_dict`` round trip.  This module makes that
+contract explicit as an abstract base class and keeps a registry mapping
+every synopsis *kind* (the string that appears in
+:class:`~repro.core.spec.SynopsisSpec` and in serialized payloads) to its
+implementing class.
+
+The registry is the package's single dispatch point on synopsis kind: the
+IO layer, the serving store and the batch engine all route through it, so
+adding a new synopsis kind is one :func:`register_synopsis` call plus a
+builder registration — not an ``isinstance`` edit in every subsystem.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Dict, Tuple, Type
+
+import numpy as np
+
+from ..exceptions import SynopsisError
+
+__all__ = [
+    "Synopsis",
+    "register_synopsis",
+    "synopsis_class",
+    "synopsis_kinds",
+    "synopsis_kind_of",
+]
+
+_REGISTRY: Dict[str, Type["Synopsis"]] = {}
+
+
+class Synopsis(abc.ABC):
+    """Abstract contract every servable synopsis satisfies.
+
+    Value-object semantics: a synopsis is immutable once built and knows
+    nothing about how it was constructed — construction parameters live in
+    :class:`~repro.core.spec.SynopsisSpec`, construction algorithms in the
+    ``repro.histograms`` / ``repro.wavelets`` subpackages.
+    """
+
+    __slots__ = ()
+
+    #: The registry name of this synopsis kind; set by :func:`register_synopsis`.
+    kind: ClassVar[str]
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def domain_size(self) -> int:
+        """The size ``n`` of the ordered domain the synopsis summarises."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Space actually consumed, in budget units (buckets / coefficients)."""
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimate(self, item: int) -> float:
+        """Approximate frequency ``ĝ_i`` of a single item."""
+
+    @abc.abstractmethod
+    def estimates(self) -> np.ndarray:
+        """The full vector of approximate frequencies ``ĝ``, length ``n``."""
+
+    @abc.abstractmethod
+    def estimate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Approximate frequencies of many items in one vectorised pass."""
+
+    @abc.abstractmethod
+    def range_sum_estimate(self, start: int, end: int) -> float:
+        """Estimated frequency sum over the inclusive item range ``[start, end]``."""
+
+    @abc.abstractmethod
+    def range_sum_estimates(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Estimated range sums for many inclusive ``[starts[i], ends[i]]`` ranges."""
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (without the ``kind`` discriminator)."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Synopsis":
+        """Inverse of :meth:`to_dict`."""
+
+
+def register_synopsis(kind: str):
+    """Class decorator registering a :class:`Synopsis` subclass under ``kind``.
+
+    The kind string becomes the class's ``kind`` attribute, its discriminator
+    in serialized payloads, and its name in :class:`~repro.core.spec.SynopsisSpec`.
+    Registering the same kind twice is an error unless it is the same class
+    (idempotent re-imports are fine).
+    """
+
+    def decorate(cls: Type[Synopsis]) -> Type[Synopsis]:
+        existing = _REGISTRY.get(kind)
+        if existing is not None and existing is not cls:
+            raise SynopsisError(
+                f"synopsis kind {kind!r} is already registered to {existing.__name__}"
+            )
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_kinds() -> None:
+    # The built-in value objects register themselves at import; import them
+    # lazily so the registry is complete even when this module is imported
+    # directly (and to keep the module import-cycle free).
+    from . import histogram, wavelet  # noqa: F401
+
+
+def synopsis_class(kind: str) -> Type[Synopsis]:
+    """The registered :class:`Synopsis` subclass for ``kind``."""
+    _ensure_builtin_kinds()
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise SynopsisError(
+            f"unknown synopsis kind {kind!r}; expected one of: {valid}"
+        ) from None
+
+
+def synopsis_kinds() -> Tuple[str, ...]:
+    """All registered synopsis kinds, sorted."""
+    _ensure_builtin_kinds()
+    return tuple(sorted(_REGISTRY))
+
+
+def synopsis_kind_of(synopsis: Synopsis) -> str:
+    """The registry kind of a synopsis instance (its serialisation discriminator)."""
+    _ensure_builtin_kinds()
+    if isinstance(synopsis, Synopsis):
+        return type(synopsis).kind
+    raise SynopsisError(
+        f"cannot determine synopsis kind of {type(synopsis).__name__}; "
+        "servable synopses subclass repro.core.synopsis.Synopsis"
+    )

@@ -19,11 +19,13 @@ import numpy as np
 
 from ..exceptions import SynopsisError
 from ._validation import check_item_ranges
+from .synopsis import Synopsis, register_synopsis
 
 __all__ = ["WaveletSynopsis"]
 
 
-class WaveletSynopsis:
+@register_synopsis("wavelet")
+class WaveletSynopsis(Synopsis):
     """A sparse Haar-coefficient synopsis over the ordered domain ``[0, n)``.
 
     Parameters
@@ -84,6 +86,11 @@ class WaveletSynopsis:
     def term_count(self) -> int:
         """Number of retained coefficients ``B`` (the space budget)."""
         return len(self._coefficients)
+
+    @property
+    def size(self) -> int:
+        """Space consumed in budget units (the :class:`Synopsis` protocol view)."""
+        return self.term_count
 
     def __len__(self) -> int:
         return self.term_count

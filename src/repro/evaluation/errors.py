@@ -20,9 +20,8 @@ from typing import Sequence, Union
 
 import numpy as np
 
-from ..core.histogram import Histogram
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
-from ..core.wavelet import WaveletSynopsis
+from ..core.synopsis import Synopsis
 from ..exceptions import EvaluationError
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
@@ -34,7 +33,7 @@ __all__ = [
     "normalised_error_percentage",
 ]
 
-SynopsisLike = Union[Histogram, WaveletSynopsis, np.ndarray, Sequence[float]]
+SynopsisLike = Union[Synopsis, np.ndarray, Sequence[float]]
 DataLike = Union[ProbabilisticModel, FrequencyDistributions]
 
 
@@ -50,9 +49,9 @@ def _distributions_of(data: DataLike) -> FrequencyDistributions:
 
 def estimates_of(synopsis: SynopsisLike, domain_size: int) -> np.ndarray:
     """Frequency estimates ``ĝ`` of a synopsis, as a length-``domain_size`` vector."""
-    if isinstance(synopsis, Histogram):
-        estimates = synopsis.estimates()
-    elif isinstance(synopsis, WaveletSynopsis):
+    # Protocol dispatch: any registered Synopsis supplies its own estimates;
+    # anything else is treated as a raw estimate vector.
+    if isinstance(synopsis, Synopsis):
         estimates = synopsis.estimates()
     else:
         estimates = np.asarray(synopsis, dtype=float)

@@ -39,6 +39,16 @@ class EvaluationError(ReproError, ValueError):
     """Raised when an expected-error evaluation request is invalid."""
 
 
+class BudgetClampWarning(UserWarning):
+    """Warned when a requested budget exceeds what the domain can use.
+
+    A histogram cannot have more buckets than items and a wavelet synopsis
+    cannot retain more coefficients than its transform holds; the solvers
+    clamp such budgets rather than fail, and this warning makes the clamp
+    visible instead of silent.
+    """
+
+
 class WorldEnumerationError(ReproError, RuntimeError):
     """Raised when exhaustive possible-world enumeration would be too large.
 

@@ -24,9 +24,10 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.builders import build_synopsis
+from ..core.builders import build
 from ..core.histogram import Histogram
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from ..core.spec import SynopsisSpec
 from ..evaluation.errors import expected_error, normalised_error_percentage
 from ..exceptions import EvaluationError
 from ..histograms.dp import histogram_from_boundaries
@@ -108,9 +109,10 @@ def run_histogram_quality(
 ) -> HistogramQualityResult:
     """Run one Figure 2 sub-experiment and return all method curves.
 
-    Every construction goes through the unified
-    :func:`~repro.core.builders.build_synopsis` entry point; passing the
-    whole budget sweep at once lets one DP run serve every budget.
+    Every construction goes through the unified spec front door
+    (:func:`~repro.core.builders.build` with one
+    :class:`~repro.core.spec.SynopsisSpec`); declaring the whole budget sweep
+    in the spec lets one DP run serve every budget.
 
     Parameters
     ----------
@@ -139,12 +141,15 @@ def run_histogram_quality(
     # Budget 1 rides along in every sweep: it anchors the normalisation.
     sweep = sorted({1, *budgets})
 
+    # One declarative spec covers every construction of the experiment; only
+    # the data changes between the probabilistic run and the baselines.
+    build_spec = SynopsisSpec(
+        kind="histogram", budget=tuple(sweep), metric=spec,
+        kernel=kernel, sse_variant=sse_variant,
+    )
+
     def build_curve(data) -> Dict[int, Histogram]:
-        built = build_synopsis(
-            data, sweep, synopsis="histogram", metric=spec,
-            kernel=kernel, sse_variant=sse_variant,
-        )
-        return dict(zip(sweep, built))
+        return dict(zip(sweep, build(data, build_spec)))
 
     # Probabilistic construction: the paper's optimal DP (Section 3).
     probabilistic = build_curve(model)

@@ -17,8 +17,9 @@ import dataclasses
 import time
 from typing import Callable, List, Optional, Sequence, Union
 
-from ..core.builders import build_synopsis
+from ..core.builders import build
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from ..core.spec import SynopsisSpec
 from ..datasets.movies import generate_movie_linkage
 from ..histograms.kernels import AUTO_KERNEL
 from ..models.base import ProbabilisticModel
@@ -55,8 +56,9 @@ class TimingResult:
 def _time_construction(
     model: ProbabilisticModel, spec: MetricSpec, buckets: int, kernel: str
 ) -> float:
+    build_spec = SynopsisSpec(kind="histogram", budget=buckets, metric=spec, kernel=kernel)
     start = time.perf_counter()
-    build_synopsis(model, buckets, synopsis="histogram", metric=spec, kernel=kernel)
+    build(model, build_spec)
     return time.perf_counter() - start
 
 

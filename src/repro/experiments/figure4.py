@@ -22,7 +22,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.metrics import DEFAULT_SANITY, MetricSpec
+from ..core.builders import build
+from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
+from ..core.spec import SynopsisSpec
 from ..evaluation.errors import expected_error
 from ..exceptions import EvaluationError
 from ..models.base import ProbabilisticModel
@@ -133,12 +135,22 @@ def run_wavelet_quality(
         distributions = model.to_frequency_distributions()
         for metric in dp_metrics:
             spec = MetricSpec.of(metric, sanity)
-            dp = RestrictedWaveletDP(distributions, spec).prepare(max(budgets))
+            if spec.metric is ErrorMetric.SSE:
+                # The spec front door routes SSE to the optimal greedy
+                # thresholding; this curve is specifically about the
+                # *restricted-tree DP*, so drive it directly.
+                dp = RestrictedWaveletDP(distributions, spec).prepare(max(budgets))
+                synopses = [dp.solve(budget)[1] for budget in budgets]
+            else:
+                # One sweep spec = one tabulation serving every budget.
+                sweep_spec = SynopsisSpec(
+                    kind="wavelet", budget=tuple(budgets), metric=spec
+                )
+                synopses = build(distributions, sweep_spec)
             name = f"dp_{spec.metric.value}"
             percents: List[float] = []
             sses: List[float] = []
-            for budget in budgets:
-                _, synopsis = dp.solve(budget)
+            for synopsis in synopses:
                 selected = np.fromiter(synopsis.indices, dtype=np.int64, count=len(synopsis))
                 percents.append(_selection_error_percent(mu, selected, total_energy))
                 sses.append(expected_error(model, synopsis, "sse"))

@@ -15,8 +15,7 @@ import json
 from pathlib import Path
 from typing import Union
 
-from ..core.histogram import Histogram
-from ..core.wavelet import WaveletSynopsis
+from ..core.synopsis import Synopsis, synopsis_class, synopsis_kind_of
 from ..exceptions import ModelValidationError, SynopsisError
 from ..models.base import ProbabilisticModel
 from ..models.basic import BasicModel
@@ -143,34 +142,33 @@ def write_basic_text(model: BasicModel, path: PathLike) -> Path:
 # ----------------------------------------------------------------------
 # Synopses
 # ----------------------------------------------------------------------
-def synopsis_to_dict(synopsis: Union[Histogram, WaveletSynopsis]) -> dict:
-    """JSON-friendly self-describing representation of any supported synopsis."""
-    if isinstance(synopsis, Histogram):
-        return {"synopsis": "histogram", **synopsis.to_dict()}
-    if isinstance(synopsis, WaveletSynopsis):
-        return {"synopsis": "wavelet", **synopsis.to_dict()}
-    raise SynopsisError(f"cannot serialise synopsis of type {type(synopsis).__name__}")
+def synopsis_to_dict(synopsis: Synopsis) -> dict:
+    """JSON-friendly self-describing representation of any registered synopsis.
+
+    Dispatches through the :mod:`repro.core.synopsis` kind registry, so a new
+    synopsis kind serialises here the moment it is registered.
+    """
+    kind = synopsis_kind_of(synopsis)  # raises SynopsisError for foreign types
+    return {"synopsis": kind, **synopsis.to_dict()}
 
 
-def synopsis_from_dict(payload: dict) -> Union[Histogram, WaveletSynopsis]:
-    """Inverse of :func:`synopsis_to_dict`."""
+def synopsis_from_dict(payload: dict) -> Synopsis:
+    """Inverse of :func:`synopsis_to_dict` (registry-dispatched on the kind tag)."""
     kind = payload.get("synopsis")
-    if kind == "histogram":
-        return Histogram.from_dict(payload)
-    if kind == "wavelet":
-        return WaveletSynopsis.from_dict(payload)
-    raise SynopsisError(f"unknown synopsis kind {kind!r} in payload")
+    if not isinstance(kind, str):
+        raise SynopsisError(f"unknown synopsis kind {kind!r} in payload")
+    return synopsis_class(kind).from_dict(payload)
 
 
-def write_synopsis(synopsis: Union[Histogram, WaveletSynopsis], path: PathLike) -> Path:
-    """Write a histogram or wavelet synopsis to a JSON file."""
+def write_synopsis(synopsis: Synopsis, path: PathLike) -> Path:
+    """Write a registered synopsis (histogram, wavelet, ...) to a JSON file."""
     payload = synopsis_to_dict(synopsis)
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2))
     return path
 
 
-def read_synopsis(path: PathLike) -> Union[Histogram, WaveletSynopsis]:
+def read_synopsis(path: PathLike) -> Synopsis:
     """Read a synopsis written by :func:`write_synopsis`."""
     payload = json.loads(Path(path).read_text())
     try:

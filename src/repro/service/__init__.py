@@ -1,13 +1,14 @@
 """Synopsis serving layer: cached store + vectorised batch query engine.
 
 The construction side of this package (``repro.histograms``,
-``repro.wavelets``, the :func:`~repro.core.builders.build_synopsis` front
-door) turns probabilistic data into small synopses; this subpackage is the
-deployment side that stands those synopses up against query traffic:
+``repro.wavelets``, the :func:`~repro.core.builders.build` front door with
+its declarative :class:`~repro.core.spec.SynopsisSpec`) turns probabilistic
+data into small synopses; this subpackage is the deployment side that stands
+those synopses up against query traffic:
 
 * :class:`SynopsisStore` — content-addressed build cache (in-memory + JSON
-  on disk) so every (dataset, configuration) pair pays its dynamic program
-  exactly once;
+  on disk, keyed by ``SynopsisSpec.canonical()``) so every (dataset, spec)
+  pair pays its dynamic program exactly once;
 * :class:`BatchQueryEngine` / :func:`answer_batch` — vectorised evaluation
   of mixed point / range-sum / range-avg :class:`QueryBatch` es, with
   per-query expected-error attribution from the per-item expected errors;

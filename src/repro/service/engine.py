@@ -26,15 +26,12 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..core.histogram import Histogram
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
-from ..core.wavelet import WaveletSynopsis
+from ..core.synopsis import Synopsis
 from ..exceptions import EvaluationError
 from .queries import POINT, QUERY_KINDS, QueryBatch
 
 __all__ = ["BatchQueryEngine", "answer_batch", "answer_serial"]
-
-Synopsis = Union[Histogram, WaveletSynopsis]
 
 _RANGE_AVG_CODE = QUERY_KINDS.index("range_avg")
 
@@ -81,7 +78,8 @@ class BatchQueryEngine:
     Parameters
     ----------
     synopsis:
-        The :class:`Histogram` or :class:`WaveletSynopsis` to serve.
+        Any :class:`~repro.core.synopsis.Synopsis` implementation to serve
+        (histogram, wavelet, or a future registered kind).
     per_item_errors:
         Optional length-``n`` vector of per-item expected errors
         ``E[err(g_i, ĝ_i)]`` used by :meth:`attribute_errors`; typically
@@ -100,9 +98,12 @@ class BatchQueryEngine:
         per_item_errors: Optional[np.ndarray] = None,
         metric: Union[str, ErrorMetric, MetricSpec, None] = None,
     ):
-        if not isinstance(synopsis, (Histogram, WaveletSynopsis)):
+        # Protocol check, not a kind check: anything implementing the
+        # Synopsis contract is servable, including future registered kinds.
+        if not isinstance(synopsis, Synopsis):
             raise EvaluationError(
-                f"cannot serve synopsis of type {type(synopsis).__name__}"
+                f"cannot serve synopsis of type {type(synopsis).__name__}; "
+                "servable synopses implement repro.core.synopsis.Synopsis"
             )
         self._synopsis = synopsis
         self._spec = None if metric is None else MetricSpec.of(metric)

@@ -1,24 +1,27 @@
 """Content-addressed synopsis store: build once, serve forever.
 
 A synopsis is fully determined by the data it summarises and the build
-configuration (synopsis kind, metric, sanity constant, budget, construction
-method, kernel, slack, SSE variant, workload).  :class:`SynopsisStore`
-therefore keys every built synopsis by the SHA-256 digest of
+specification (:class:`~repro.core.spec.SynopsisSpec`): kind, metric, sanity
+constant, budget, construction method, kernel, slack, SSE variant, workload.
+:class:`SynopsisStore` therefore keys every built synopsis by the SHA-256
+digest of
 
 * a **dataset fingerprint** — the digest of the model's canonical JSON
   interchange form (or of the raw marginal arrays for precomputed
   distributions), and
-* the **canonical build configuration**,
+* the spec's **canonical build configuration**
+  (:meth:`SynopsisSpec.canonical`, the only source of store keys),
 
 and caches the result in memory and, optionally, on disk as JSON (via the
 :mod:`repro.io` interchange format).  Repeat builds — the common case for a
 serving tier that answers millions of queries against a handful of synopsis
 configurations — are cache hits that skip the dynamic program entirely.
 
-Cache invalidation is automatic: any change to the data or the configuration
-changes the key, and stale entries are simply never looked up again.  Kernel
-choice *is* part of the key even though every kernel returns an identical
-optimum; this keeps the store byte-reproducible per configuration and makes
+Cache invalidation is automatic: any change to the data or the spec changes
+the key, and stale entries are simply never looked up again.  Knobs a build
+ignores drop out of the canonical form, so they cannot fragment the cache;
+kernel choice *is* part of the key even though every kernel returns an
+identical optimum, keeping the store byte-reproducible per configuration and
 kernel ablations cache-friendly.
 """
 
@@ -29,23 +32,27 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
-from ..core.builders import build_synopsis
-from ..core.histogram import Histogram
+from ..core.builders import build
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
-from ..core.wavelet import WaveletSynopsis
-from ..core.workload import QueryWorkload
+from ..core.spec import (
+    DEFAULT_EPSILON,
+    DEFAULT_KERNEL,
+    DEFAULT_SSE_VARIANT,
+    SynopsisSpec,
+    canonical_store_key,
+    workload_digest_of,
+)
+from ..core.synopsis import Synopsis
 from ..exceptions import SynopsisError
 from ..io import model_to_dict, synopsis_from_dict, synopsis_to_dict
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
 
 __all__ = ["SynopsisStore", "StoreStats", "fingerprint_data"]
-
-Synopsis = Union[Histogram, WaveletSynopsis]
 
 
 def _digest(payload: bytes) -> str:
@@ -125,7 +132,7 @@ class SynopsisStore:
         self.stats = StoreStats()
 
     # ------------------------------------------------------------------
-    # Keying
+    # Keying — every key is derived from a SynopsisSpec
     # ------------------------------------------------------------------
     @staticmethod
     def build_config(
@@ -135,41 +142,48 @@ class SynopsisStore:
         metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
         sanity: float = DEFAULT_SANITY,
         method: str = "optimal",
-        kernel: str = "auto",
-        epsilon: float = 0.1,
-        sse_variant: str = "fixed",
+        kernel: str = DEFAULT_KERNEL,
+        epsilon: float = DEFAULT_EPSILON,
+        sse_variant: str = DEFAULT_SSE_VARIANT,
     ) -> Dict:
-        """Canonical, JSON-stable build-configuration dictionary."""
-        spec = metric if isinstance(metric, MetricSpec) else MetricSpec.of(metric, sanity)
-        config = {
-            "synopsis": synopsis,
-            "budget": int(budget),
-            "metric": spec.metric.value,
-        }
-        # Like epsilon below, knobs the build ignores stay out of the key so
-        # they cannot fragment the cache: c only enters the relative metrics.
-        if spec.relative:
-            config["sanity"] = float(spec.sanity)
-        if synopsis == "histogram":
-            config["method"] = method
-            if method == "approximate":
-                config["epsilon"] = float(epsilon)
-            else:
-                config["kernel"] = kernel  # the approximate scheme has no kernel
-            if spec.metric is ErrorMetric.SSE:
-                config["sse_variant"] = sse_variant  # only the SSE oracle reads it
-        return config
+        """Canonical build-configuration dictionary (keyword shim).
 
-    def key_for(self, fingerprint: str, config: Dict, workload=None) -> str:
-        """Content-address of one (dataset, configuration, workload) triple."""
-        payload = {"data": fingerprint, "config": config}
-        if workload is not None:
-            weights = workload.weights if isinstance(workload, QueryWorkload) else workload
-            payload["workload"] = _digest(
-                np.ascontiguousarray(np.asarray(weights, dtype=float)).tobytes()
-            )
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return _digest(canonical.encode())
+        Equivalent to ``SynopsisSpec(...).canonical()`` — the spec is the
+        source of truth; this wrapper survives for callers that still think
+        in keywords.
+        """
+        return SynopsisSpec(
+            kind=synopsis,
+            budget=budget,
+            metric=metric,
+            sanity=sanity,
+            method=method,
+            kernel=kernel,
+            epsilon=epsilon,
+            sse_variant=sse_variant,
+        ).canonical()
+
+    def key_for(
+        self,
+        fingerprint: str,
+        config: Union[SynopsisSpec, Mapping],
+        workload=None,
+    ) -> str:
+        """Content-address of one (dataset, spec) pair.
+
+        ``config`` is preferably a :class:`SynopsisSpec` (whose canonical
+        form and workload define the key); a raw canonical-config mapping
+        plus explicit ``workload`` is accepted for backwards compatibility
+        and digested through the identical
+        :func:`~repro.core.spec.canonical_store_key` format.
+        """
+        if isinstance(config, SynopsisSpec):
+            if workload is not None:
+                raise SynopsisError(
+                    "pass the workload inside the SynopsisSpec, not alongside it"
+                )
+            return config.store_key(fingerprint)
+        return canonical_store_key(fingerprint, config, workload_digest_of(workload))
 
     # ------------------------------------------------------------------
     # Cache access
@@ -230,44 +244,111 @@ class SynopsisStore:
     # ------------------------------------------------------------------
     # The front door
     # ------------------------------------------------------------------
-    def get_or_build(
-        self,
-        data,
-        budget: int,
-        *,
-        synopsis: str = "histogram",
-        metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
-        sanity: float = DEFAULT_SANITY,
-        method: str = "optimal",
-        kernel: str = "auto",
-        epsilon: float = 0.1,
-        sse_variant: str = "fixed",
-        workload=None,
-    ) -> Synopsis:
-        """The cached synopsis for this configuration, building it on a miss.
-
-        Accepts exactly the :func:`repro.core.builders.build_synopsis`
-        configuration surface.  Hits (memory or disk) skip the build
-        entirely; misses build, persist and return.  ``stats`` records which
-        path served each call.
-        """
-        config = self.build_config(
-            synopsis=synopsis, budget=budget, metric=metric, sanity=sanity,
-            method=method, kernel=kernel, epsilon=epsilon, sse_variant=sse_variant,
-        )
-        key = self.key_for(fingerprint_data(data), config, workload)
+    def _lookup(self, key: str) -> Optional[Synopsis]:
+        """One keyed lookup with stats attribution (memory, then disk)."""
         if key in self._memory:
             self.stats.memory_hits += 1
             return self._memory[key].synopsis
         cached = self.get(key)
         if cached is not None:
             self.stats.disk_hits += 1
-            return cached
-        spec = MetricSpec.of(metric, sanity)
-        built = build_synopsis(
-            data, budget, synopsis=synopsis, metric=spec, method=method,
-            kernel=kernel, epsilon=epsilon, sse_variant=sse_variant, workload=workload,
-        )
-        self.stats.builds += 1
-        self.put(key, built, config)
-        return built
+        return cached
+
+    def get_or_build_spec(
+        self, data, spec: SynopsisSpec
+    ) -> Union[Synopsis, List[Synopsis]]:
+        """The cached synopsis (or sweep of synopses) for a spec over ``data``.
+
+        Every budget of the spec is addressed independently —
+        ``spec.store_key(fingerprint, budget)`` — so a sweep mixes hits and
+        misses freely; if *any* budget misses, the whole sweep is built in
+        one DP run and each result cached under its own per-budget key.
+        """
+        fingerprint = fingerprint_data(data)
+        keys = {budget: spec.store_key(fingerprint, budget) for budget in spec.budgets}
+        found: Dict[int, Synopsis] = {}
+        for budget, key in keys.items():
+            cached = self._lookup(key)
+            if cached is not None:
+                found[budget] = cached
+        missing = [budget for budget in spec.budgets if budget not in found]
+        if missing:
+            # Build only the missing budgets (one DP run sized to their
+            # maximum); cached budgets keep being served from the cache.
+            built = build(data, spec.with_budget(tuple(missing)))
+            self.stats.builds += 1
+            for budget, synopsis in zip(missing, built):
+                self.put(keys[budget], synopsis, spec.canonical(budget))
+                found[budget] = synopsis
+        results = [found[budget] for budget in spec.budgets]
+        return results if spec.is_sweep else results[0]
+
+    def get_or_build(
+        self,
+        data,
+        budget: Union[int, SynopsisSpec, None] = None,
+        *,
+        spec: Optional[SynopsisSpec] = None,
+        synopsis: str = "histogram",
+        metric: Union[str, ErrorMetric, MetricSpec] = ErrorMetric.SSE,
+        sanity: float = DEFAULT_SANITY,
+        method: str = "optimal",
+        kernel: str = DEFAULT_KERNEL,
+        epsilon: float = DEFAULT_EPSILON,
+        sse_variant: str = DEFAULT_SSE_VARIANT,
+        workload=None,
+    ) -> Union[Synopsis, List[Synopsis]]:
+        """The cached synopsis for this configuration, building it on a miss.
+
+        Preferred form: ``get_or_build(data, spec)`` (or ``spec=...``) with a
+        :class:`SynopsisSpec`.  The keyword form mirrors
+        :func:`repro.core.builders.build_synopsis` and simply assembles the
+        spec.  Hits (memory or disk) skip the build entirely; misses build,
+        persist and return.  ``stats`` records which path served each call.
+        """
+        if isinstance(budget, SynopsisSpec):
+            if spec is not None:
+                raise SynopsisError("pass the spec positionally or as spec=, not both")
+            spec = budget
+            budget = None
+        if spec is None:
+            if budget is None:
+                raise SynopsisError("get_or_build needs a budget or a SynopsisSpec")
+            spec = SynopsisSpec(
+                kind=synopsis,
+                budget=budget,
+                metric=metric,
+                sanity=sanity,
+                method=method,
+                kernel=kernel,
+                epsilon=epsilon,
+                sse_variant=sse_variant,
+                workload=workload,
+            )
+        else:
+            # The spec is the whole configuration: reject keyword arguments
+            # alongside it rather than silently ignoring them.
+            if workload is not None:
+                raise SynopsisError(
+                    "pass the workload inside the SynopsisSpec, not alongside it"
+                )
+            overridden = [
+                name
+                for name, value, default in (
+                    ("budget", budget, None),
+                    ("synopsis", synopsis, "histogram"),
+                    ("metric", metric, ErrorMetric.SSE),
+                    ("sanity", sanity, DEFAULT_SANITY),
+                    ("method", method, "optimal"),
+                    ("kernel", kernel, DEFAULT_KERNEL),
+                    ("epsilon", epsilon, DEFAULT_EPSILON),
+                    ("sse_variant", sse_variant, DEFAULT_SSE_VARIANT),
+                )
+                if value != default
+            ]
+            if overridden:
+                raise SynopsisError(
+                    f"the SynopsisSpec carries the full build configuration; "
+                    f"drop the conflicting argument(s): {', '.join(overridden)}"
+                )
+        return self.get_or_build_spec(data, spec)

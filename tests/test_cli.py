@@ -63,6 +63,47 @@ class TestServeBuild:
                          "--budget", budget]) == 0
         assert len(list(store.glob("*.json"))) == 2
 
+    def test_spec_file_replaces_flags_and_shares_cache(self, model_path, tmp_path, capsys):
+        # A serialized SynopsisSpec must hit the cache entry the equivalent
+        # flag invocation created: both derive the same canonical key.
+        store = tmp_path / "store"
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--budget", "6", "--metric", "sae"]) == 0
+        capsys.readouterr()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"kind": "histogram", "budget": 6, "metric": "sae"}))
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "from cache" in out and "expected SAE" in out
+        assert len(list(store.glob("*.json"))) == 1
+
+    def test_missing_budget_and_spec_is_an_error(self, model_path, tmp_path, capsys):
+        assert main(["serve-build", "--input", str(model_path),
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_spec_file_rejects_conflicting_flags(self, model_path, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"kind": "histogram", "budget": 6, "metric": "sse"}))
+        assert main(["serve-build", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--spec", str(spec_path), "--metric", "sae"]) == 2
+        assert "--metric" in capsys.readouterr().err
+
+    def test_sweep_spec_file_needs_a_budget_selection(self, model_path, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"kind": "histogram", "budget": [4, 8]}))
+        assert main(["serve-build", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--spec", str(spec_path)]) == 2
+        assert "budget sweep" in capsys.readouterr().err
+        # --budget must pick one of the declared budgets, not invent a new one.
+        assert main(["serve-build", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--spec", str(spec_path), "--budget", "7"]) == 2
+        assert "not declared by the spec" in capsys.readouterr().err
+        # Narrowed with --budget, the same sweep spec serves cleanly.
+        assert main(["serve-build", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--spec", str(spec_path), "--budget", "8"]) == 0
+
 
 class TestQuery:
     def test_explicit_queries_with_error_attribution(self, model_path, tmp_path, capsys):

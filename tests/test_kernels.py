@@ -231,9 +231,12 @@ class TestBuildSynopsisFrontDoor:
         with pytest.raises(SynopsisError):
             build_synopsis(model, 2, synopsis="sketch")
 
-    def test_empty_budget_list(self):
+    def test_empty_budget_list_rejected(self):
+        # An empty sweep used to slip through and return [] before any
+        # validation ran; it is a caller bug and must fail up front.
         model = small_value_pdf(seed=918, domain_size=5)
-        assert build_synopsis(model, [], metric="sse") == []
+        with pytest.raises(SynopsisError, match="empty budget sweep"):
+            build_synopsis(model, [], metric="sse")
 
     @pytest.mark.parametrize("budget", [4.7, "4", [2, 3.5], True])
     def test_non_integral_budget_rejected(self, budget):

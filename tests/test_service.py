@@ -55,13 +55,13 @@ class TestSynopsisStore:
         calls = []
         import repro.service.store as store_module
 
-        real_build = store_module.build_synopsis
+        real_build = store_module.build
 
-        def spying_build(*args, **kwargs):
-            calls.append(kwargs.get("synopsis", "histogram"))
-            return real_build(*args, **kwargs)
+        def spying_build(data, spec):
+            calls.append(spec.kind)
+            return real_build(data, spec)
 
-        monkeypatch.setattr(store_module, "build_synopsis", spying_build)
+        monkeypatch.setattr(store_module, "build", spying_build)
         first = store.get_or_build(model, 6, metric="sae")
         second = store.get_or_build(model, 6, metric="sae")
         assert second is first
