@@ -28,6 +28,7 @@ from .core import (
     ErrorMetric,
     Histogram,
     MetricSpec,
+    PartitionSpec,
     QueryWorkload,
     Synopsis,
     SynopsisSpec,
@@ -42,6 +43,7 @@ from .core import (
 from .evaluation import expected_error, per_item_expected_errors
 from .exceptions import (
     BudgetClampWarning,
+    BudgetSweepWarning,
     DomainError,
     EvaluationError,
     ModelValidationError,
@@ -49,6 +51,7 @@ from .exceptions import (
     SynopsisError,
     WorldEnumerationError,
 )
+from .partition import PartitionedSynopsis
 from .models import (
     BasicModel,
     FrequencyDistributions,
@@ -81,6 +84,8 @@ __all__ = [
     "WaveletSynopsis",
     "Synopsis",
     "SynopsisSpec",
+    "PartitionSpec",
+    "PartitionedSynopsis",
     "synopsis_kinds",
     "QueryWorkload",
     # builders and evaluation
@@ -98,4 +103,5 @@ __all__ = [
     "EvaluationError",
     "WorldEnumerationError",
     "BudgetClampWarning",
+    "BudgetSweepWarning",
 ]

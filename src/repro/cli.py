@@ -26,7 +26,9 @@ Installed as ``repro-synopses``.  Sub-commands:
     synopsis for serving; repeat invocations with the same data and
     configuration are cache hits that skip the dynamic program.  The build
     configuration is either the individual flags or a serialized
-    :class:`repro.core.SynopsisSpec` passed as ``--spec FILE``.
+    :class:`repro.core.SynopsisSpec` passed as ``--spec FILE``; ``--shards K``
+    builds a partitioned synopsis (sharded parallel DP builds, optimal
+    cross-shard budget allocation) over the configured base kind.
 
 ``query``
     Answer point / range-sum / range-avg queries against a served synopsis
@@ -43,7 +45,12 @@ from typing import Optional, Sequence
 
 from .core.builders import build
 from .core.metrics import DEFAULT_SANITY, ErrorMetric
-from .core.spec import DEFAULT_EPSILON, DEFAULT_SSE_VARIANT, SynopsisSpec
+from .core.spec import (
+    DEFAULT_EPSILON,
+    DEFAULT_SSE_VARIANT,
+    PartitionSpec,
+    SynopsisSpec,
+)
 from .datasets import generate_movie_linkage, generate_sensor_readings, generate_tpch_lineitem
 from .evaluation.errors import expected_error
 from .exceptions import ReproError
@@ -75,6 +82,10 @@ _SERVING_DEFAULTS = {
     "kernel": AUTO_KERNEL,
     "epsilon": DEFAULT_EPSILON,
     "sse_variant": DEFAULT_SSE_VARIANT,
+    "shards": None,
+    "partition_strategy": "equal_width",
+    "allocation": "exact",
+    "workers": None,
 }
 
 
@@ -176,6 +187,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 default=_SERVING_DEFAULTS["kernel"])
     serving_config.add_argument("--sse-variant", choices=["fixed", "paper"],
                                 default=_SERVING_DEFAULTS["sse_variant"])
+    serving_config.add_argument(
+        "--shards", type=int, default=_SERVING_DEFAULTS["shards"], metavar="K",
+        help="build a partitioned synopsis over K domain shards "
+        "(--synopsis then names the per-shard base kind)",
+    )
+    serving_config.add_argument(
+        "--partition-strategy", choices=["equal_width", "equal_mass"],
+        default=_SERVING_DEFAULTS["partition_strategy"],
+        help="how --shards splits the domain (explicit cuts go via --spec)",
+    )
+    serving_config.add_argument(
+        "--allocation", choices=["exact", "greedy"],
+        default=_SERVING_DEFAULTS["allocation"],
+        help="cross-shard budget allocation: optimal min-plus DP or the "
+        "greedy heuristic",
+    )
+    serving_config.add_argument(
+        "--workers", type=int, default=_SERVING_DEFAULTS["workers"], metavar="N",
+        help="process-pool size for the parallel shard builds (default: serial)",
+    )
 
     subparsers.add_parser(
         "serve-build", parents=[serving_config],
@@ -274,8 +305,32 @@ def _serving_spec(args: argparse.Namespace) -> SynopsisSpec:
         return spec
     if args.budget is None:
         raise ReproError("give --budget B (or a full --spec FILE)")
+    if args.shards is None:
+        partition_flags = [
+            f"--{name.replace('_', '-')}"
+            for name in ("partition_strategy", "allocation", "workers")
+            if getattr(args, name) != _SERVING_DEFAULTS[name]
+        ]
+        if partition_flags:
+            raise ReproError(
+                f"{', '.join(partition_flags)} only apply to partitioned "
+                "builds; add --shards K"
+            )
+        partition = None
+        kind = args.synopsis
+    else:
+        # --shards wraps the configured base synopsis in a partitioned build:
+        # the base-kind flags keep their meaning, per shard.
+        partition = PartitionSpec(
+            shards=args.shards,
+            strategy=args.partition_strategy,
+            allocation=args.allocation,
+            base=args.synopsis,
+            workers=args.workers,
+        )
+        kind = "partitioned"
     return SynopsisSpec(
-        kind=args.synopsis,
+        kind=kind,
         budget=args.budget,
         metric=args.metric,
         sanity=args.sanity,
@@ -283,6 +338,7 @@ def _serving_spec(args: argparse.Namespace) -> SynopsisSpec:
         kernel=args.kernel,
         epsilon=args.epsilon,
         sse_variant=args.sse_variant,
+        partition=partition,
     )
 
 

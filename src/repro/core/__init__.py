@@ -12,7 +12,7 @@ from .metrics import (
     is_squared,
     point_error,
 )
-from .spec import SynopsisSpec
+from .spec import PartitionSpec, SynopsisSpec
 from .synopsis import Synopsis, register_synopsis, synopsis_class, synopsis_kinds
 from .wavelet import WaveletSynopsis
 from .workload import QueryWorkload
@@ -32,6 +32,7 @@ __all__ = [
     "WaveletSynopsis",
     "Synopsis",
     "SynopsisSpec",
+    "PartitionSpec",
     "register_synopsis",
     "register_builder",
     "synopsis_class",

@@ -93,6 +93,10 @@ def build(data: DataLike, spec: SynopsisSpec) -> Union[Synopsis, List[Synopsis]]
             f"build expects a SynopsisSpec, got {type(spec).__name__}; "
             "use build_synopsis(...) for the keyword form"
         )
+    if spec.kind not in _BUILDERS:
+        # Builders outside repro.core register at import; the partitioned
+        # builder is the one built-in living elsewhere (lazy to avoid cycles).
+        from ..partition import builder as _partition_builder  # noqa: F401
     builder = _BUILDERS.get(spec.kind)
     if builder is None:
         raise SynopsisError(f"no builder registered for synopsis kind {spec.kind!r}")

@@ -36,20 +36,35 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import BudgetClampWarning, SynopsisError
+from ..exceptions import BudgetClampWarning, BudgetSweepWarning, SynopsisError
 from .metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from .synopsis import synopsis_kinds
 from .workload import QueryWorkload
 
 __all__ = [
     "SynopsisSpec",
+    "PartitionSpec",
     "HISTOGRAM_METHODS",
+    "PARTITION_STRATEGIES",
+    "ALLOCATION_MODES",
     "DEFAULT_EPSILON",
     "DEFAULT_KERNEL",
     "DEFAULT_SSE_VARIANT",
 ]
 
 HISTOGRAM_METHODS: Tuple[str, ...] = ("optimal", "approximate")
+
+#: Domain-splitting strategies of :class:`PartitionSpec` (implemented by
+#: :mod:`repro.partition.partitioner`).
+PARTITION_STRATEGIES: Tuple[str, ...] = ("equal_width", "equal_mass", "explicit")
+
+#: Cross-shard budget-allocation modes of :class:`PartitionSpec`.
+ALLOCATION_MODES: Tuple[str, ...] = ("exact", "greedy")
+
+#: Synopsis kinds that may serve as the per-shard base of a partitioned
+#: build.  ``"partitioned"`` itself is deliberately absent: partitions do
+#: not nest.
+PARTITION_BASE_KINDS: Tuple[str, ...] = ("histogram", "wavelet")
 
 DEFAULT_EPSILON = 0.1
 DEFAULT_KERNEL = "auto"
@@ -102,6 +117,148 @@ def workload_digest_of(workload: WorkloadLike) -> Optional[str]:
     return _digest(np.ascontiguousarray(np.asarray(weights, dtype=float)).tobytes())
 
 
+def _coerce_int(value: Any, what: str) -> int:
+    """Coerce one integral parameter, rejecting floats and booleans loudly."""
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return int(value)
+    raise SynopsisError(f"{what} must be an integer, got {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSpec:
+    """How a partitioned synopsis splits its domain and its budget.
+
+    Parameters
+    ----------
+    shards:
+        Number of contiguous shards ``K`` the ordered domain is split into.
+    strategy:
+        ``"equal_width"`` (equal item counts), ``"equal_mass"`` (balanced
+        expected frequency mass) or ``"explicit"`` (caller-given ``cuts``).
+    cuts:
+        Explicit shard start indices (strictly increasing, excluding 0),
+        required by — and only meaningful for — the explicit strategy.
+    allocation:
+        How the global budget is split across the shards: ``"exact"``
+        (min-plus DP over the per-shard error-vs-budget curves, provably
+        optimal) or ``"greedy"`` (steepest-descent heuristic, kept for
+        comparison).
+    base:
+        The per-shard synopsis kind (``"histogram"`` or ``"wavelet"``).
+    workers:
+        Process-pool size for the parallel shard builds; ``None`` or ``0``
+        builds serially.  Parallelism cannot change the result, so this knob
+        is excluded from :meth:`canonical` (and hence from store keys).
+    """
+
+    shards: int
+    strategy: str = "equal_width"
+    cuts: Optional[Tuple[int, ...]] = None
+    allocation: str = "exact"
+    base: str = "histogram"
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        count = _coerce_int(self.shards, "the shard count")
+        if count < 1:
+            raise SynopsisError(f"the shard count must be at least 1, got {count}")
+        object.__setattr__(self, "shards", count)
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise SynopsisError(
+                f"unknown partition strategy {self.strategy!r}; "
+                f"expected one of {PARTITION_STRATEGIES}"
+            )
+        if self.strategy == "explicit":
+            if self.cuts is None:
+                raise SynopsisError(
+                    "the explicit strategy needs cuts=(...): the start index of "
+                    "every shard after the first"
+                )
+            cuts = tuple(_coerce_int(c, "a shard cut") for c in self.cuts)
+            if len(cuts) != count - 1:
+                raise SynopsisError(
+                    f"{count} shards need exactly {count - 1} cuts, got {len(cuts)}"
+                )
+            if any(c <= 0 for c in cuts) or any(b <= a for a, b in zip(cuts, cuts[1:])):
+                raise SynopsisError(
+                    "cuts must be strictly increasing positive item indices"
+                )
+            object.__setattr__(self, "cuts", cuts)
+        elif self.cuts is not None:
+            raise SynopsisError(
+                f"cuts only apply to the explicit strategy, not {self.strategy!r}"
+            )
+        if self.allocation not in ALLOCATION_MODES:
+            raise SynopsisError(
+                f"unknown allocation mode {self.allocation!r}; "
+                f"expected one of {ALLOCATION_MODES}"
+            )
+        if self.base not in PARTITION_BASE_KINDS:
+            raise SynopsisError(
+                f"the per-shard base kind must be one of {PARTITION_BASE_KINDS}, "
+                f"got {self.base!r} (partitions do not nest)"
+            )
+        if self.workers is not None:
+            workers = _coerce_int(self.workers, "the worker count")
+            if workers < 0:
+                raise SynopsisError(f"the worker count must be non-negative, got {workers}")
+            object.__setattr__(self, "workers", workers)
+
+    # ------------------------------------------------------------------
+    # Canonical form and serialisation
+    # ------------------------------------------------------------------
+    def canonical(self) -> Dict[str, Any]:
+        """The cache-key view of the partition block.
+
+        ``workers`` drops out: how many processes built the shards cannot
+        change what was built, so it must not fragment the store.
+        """
+        config: Dict[str, Any] = {
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "allocation": self.allocation,
+            "base": self.base,
+        }
+        if self.cuts is not None:
+            config["cuts"] = list(self.cuts)
+        return config
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Complete JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        payload = self.canonical()
+        if self.workers is not None:
+            payload["workers"] = self.workers
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PartitionSpec":
+        """Build a partition block from :meth:`to_dict` output (unknown keys are errors)."""
+        if not isinstance(payload, Mapping):
+            raise SynopsisError(
+                f"a partition block must be a mapping, got {type(payload).__name__}"
+            )
+        known = {"shards", "strategy", "cuts", "allocation", "base", "workers"}
+        unknown = set(payload) - known
+        if unknown:
+            raise SynopsisError(
+                f"unknown partition field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "shards" not in payload:
+            raise SynopsisError("a partition block needs a 'shards' field")
+        cuts = payload.get("cuts")
+        if isinstance(cuts, list):
+            cuts = tuple(cuts)
+        return cls(
+            shards=payload["shards"],
+            strategy=payload.get("strategy", "equal_width"),
+            cuts=cuts,
+            allocation=payload.get("allocation", "exact"),
+            base=payload.get("base", "histogram"),
+            workers=payload.get("workers"),
+        )
+
+
 @dataclasses.dataclass(frozen=True)
 class SynopsisSpec:
     """A complete, validated description of one synopsis build.
@@ -134,6 +291,12 @@ class SynopsisSpec:
         Optional per-item query weights (:class:`QueryWorkload` or a plain
         weight sequence).  Part of the spec because a workload-aware build is
         a genuinely different synopsis (and a different cache key).
+    partition:
+        Partitioned builds only (``kind="partitioned"``): the
+        :class:`PartitionSpec` block describing how the domain is sharded and
+        the global budget allocated.  The remaining knobs (metric, kernel,
+        workload, ...) then describe the nested per-shard build, whose spec
+        :meth:`shard_spec` derives.
     """
 
     kind: str = "histogram"
@@ -147,6 +310,7 @@ class SynopsisSpec:
     epsilon: float = DEFAULT_EPSILON
     sse_variant: str = DEFAULT_SSE_VARIANT
     workload: Optional[QueryWorkload] = None
+    partition: Optional[PartitionSpec] = None
 
     # ------------------------------------------------------------------
     # Validation / normalisation
@@ -156,6 +320,23 @@ class SynopsisSpec:
         if self.kind not in kinds:
             raise SynopsisError(
                 f"unknown synopsis kind {self.kind!r}; expected one of {kinds}"
+            )
+
+        # The partition block pairs exactly with kind="partitioned" (a plain
+        # mapping is coerced so specs deserialise without special-casing).
+        if self.partition is not None and not isinstance(self.partition, PartitionSpec):
+            object.__setattr__(
+                self,
+                "partition",
+                PartitionSpec.from_dict(self.partition),  # type: ignore[unreachable]
+            )
+        if self.kind == "partitioned" and self.partition is None:
+            raise SynopsisError(
+                "a partitioned spec needs a partition=PartitionSpec(...) block"
+            )
+        if self.kind != "partitioned" and self.partition is not None:
+            raise SynopsisError(
+                f"a partition block only applies to kind='partitioned', not {self.kind!r}"
             )
 
         # Budgets: a scalar stays a scalar (build returns one synopsis), a
@@ -175,12 +356,29 @@ class SynopsisSpec:
                 raise SynopsisError(
                     "an empty budget sweep builds nothing; give at least one budget"
                 )
+            normalised = tuple(sorted(set(entries)))
+            if normalised != entries:
+                warnings.warn(
+                    f"budget sweeps are served sorted and duplicate-free; "
+                    f"normalised {list(entries)} to {list(normalised)}",
+                    BudgetSweepWarning,
+                    stacklevel=3,
+                )
+                entries = normalised
             object.__setattr__(self, "budget", entries)
-        minimum = 1 if self.kind == "histogram" else 0
+        minimum = 1 if self.base_kind == "histogram" else 0
         for entry in self.budgets:
             if entry < minimum:
                 raise SynopsisError(
                     f"the {self.kind} budget must be at least {minimum}, got {entry}"
+                )
+        partition = self.partition
+        if partition is not None and partition.base == "histogram":
+            if min(self.budgets) < partition.shards:
+                raise SynopsisError(
+                    f"a {partition.shards}-shard histogram partition needs a "
+                    f"global budget of at least {partition.shards} "
+                    f"(one bucket per shard), got {min(self.budgets)}"
                 )
 
         if sanity <= 0:
@@ -204,6 +402,21 @@ class SynopsisSpec:
             raise SynopsisError(
                 f"unknown sse_variant {self.sse_variant!r}; expected one of {_SSE_VARIANTS}"
             )
+        if self.kind == "partitioned":
+            # The allocator's optimality proof rests on exact per-shard
+            # error-vs-budget curves, which only the optimal DP provides; and
+            # the "paper" SSE variant needs the full tuple-pdf covariance
+            # structure, which cannot be sliced into independent shards.
+            if self.method != "optimal":
+                raise SynopsisError(
+                    "partitioned builds need exact per-shard error-vs-budget "
+                    "curves; method='approximate' is not supported"
+                )
+            if self.sse_variant != DEFAULT_SSE_VARIANT:
+                raise SynopsisError(
+                    "partitioned builds do not support sse_variant='paper': the "
+                    "tuple-pdf covariance structure cannot be sliced per shard"
+                )
         if not (isinstance(self.epsilon, (int, float)) and float(self.epsilon) > 0):
             raise SynopsisError(f"epsilon must be positive, got {self.epsilon!r}")
         object.__setattr__(self, "epsilon", float(self.epsilon))
@@ -213,14 +426,50 @@ class SynopsisSpec:
         if self.workload is not None and not isinstance(self.workload, QueryWorkload):
             object.__setattr__(self, "workload", QueryWorkload(self.workload))
 
-        if self.kind != "histogram":
+        if self.base_kind != "histogram":
             # Histogram-only knobs are meaningless elsewhere; normalise them to
             # their defaults so two specs that build the same synopsis compare
-            # (and hash, and canonicalise) equal.
+            # (and hash, and canonicalise) equal.  For partitioned builds the
+            # knobs describe the per-shard base, so a wavelet-base partition
+            # normalises exactly like a plain wavelet.
             object.__setattr__(self, "method", "optimal")
             object.__setattr__(self, "kernel", DEFAULT_KERNEL)
             object.__setattr__(self, "epsilon", DEFAULT_EPSILON)
             object.__setattr__(self, "sse_variant", DEFAULT_SSE_VARIANT)
+
+    # ------------------------------------------------------------------
+    # Kind views
+    # ------------------------------------------------------------------
+    @property
+    def base_kind(self) -> str:
+        """The kind actually constructed per domain slice.
+
+        Equal to :attr:`kind` for plain builds; for partitioned builds the
+        per-shard base kind (``partition.base``).
+        """
+        return self.partition.base if self.partition is not None else self.kind
+
+    def shard_spec(
+        self, budget: BudgetLike, workload: WorkloadLike = None
+    ) -> "SynopsisSpec":
+        """The nested per-shard build spec of a partitioned spec.
+
+        Carries every base-kind knob of this spec (metric, kernel, SSE
+        variant) over to ``kind=partition.base`` with the given per-shard
+        budget (or sweep) and optional shard-restricted workload weights.
+        """
+        partition = self.partition
+        if partition is None:
+            raise SynopsisError("shard_spec only applies to partitioned specs")
+        return SynopsisSpec(
+            kind=partition.base,
+            budget=budget,
+            metric=self.metric,
+            method="optimal",
+            kernel=self.kernel,
+            sse_variant=self.sse_variant,
+            workload=workload,
+        )
 
     # ------------------------------------------------------------------
     # Budget views
@@ -258,6 +507,7 @@ class SynopsisSpec:
                 self.epsilon,
                 self.sse_variant,
                 self.workload_digest,
+                self.partition,
             )
         )
 
@@ -306,6 +556,14 @@ class SynopsisSpec:
                 config["kernel"] = self.kernel  # the approximate scheme has no kernel
             if self.metric.metric is ErrorMetric.SSE:
                 config["sse_variant"] = self.sse_variant  # only the SSE oracle reads it
+        elif self.partition is not None:  # kind == "partitioned"
+            config["partition"] = self.partition.canonical()
+            if self.base_kind == "histogram":
+                # Per-shard builds are always the optimal DP, so the kernel
+                # is the only histogram knob that reaches them.
+                config["kernel"] = self.kernel
+                if self.metric.metric is ErrorMetric.SSE:
+                    config["sse_variant"] = self.sse_variant
         return config
 
     def canonical_json(self, budget: Optional[int] = None) -> str:
@@ -342,6 +600,8 @@ class SynopsisSpec:
         }
         if self.workload is not None:
             payload["workload"] = [float(w) for w in self.workload.weights]
+        if self.partition is not None:
+            payload["partition"] = self.partition.to_dict()
         return payload
 
     @classmethod
@@ -353,7 +613,7 @@ class SynopsisSpec:
             )
         known = {
             "kind", "budget", "metric", "sanity", "method",
-            "kernel", "epsilon", "sse_variant", "workload",
+            "kernel", "epsilon", "sse_variant", "workload", "partition",
         }
         unknown = set(payload) - known
         if unknown:
@@ -375,6 +635,7 @@ class SynopsisSpec:
             epsilon=payload.get("epsilon", DEFAULT_EPSILON),
             sse_variant=payload.get("sse_variant", DEFAULT_SSE_VARIANT),
             workload=payload.get("workload"),
+            partition=payload.get("partition"),
         )
 
     def to_json(self) -> str:
@@ -404,10 +665,27 @@ class SynopsisSpec:
         """
         if self.workload is not None:
             self.workload.for_domain(domain_size)
-        if self.kind == "histogram":
+        if self.kind == "partitioned":
+            part = self.partition
+            assert part is not None  # paired at construction
+            if part.shards > domain_size:
+                raise SynopsisError(
+                    f"cannot split a domain of {domain_size} items into "
+                    f"{part.shards} non-empty shards"
+                )
+            if part.cuts is not None and part.cuts and part.cuts[-1] >= domain_size:
+                raise SynopsisError(
+                    f"shard cut {part.cuts[-1]} outside the domain [1, {domain_size})"
+                )
+        if self.base_kind == "histogram":
             capacity = domain_size
             unit = "buckets"
-        elif self.kind == "wavelet":
+        elif self.base_kind == "wavelet":
+            if self.kind == "partitioned":
+                # Per-shard transforms pad to powers of two, so the exact
+                # coefficient capacity depends on the (possibly data-driven)
+                # shard spans; the builder clamps per shard instead.
+                return
             capacity = 1
             while capacity < domain_size:
                 capacity *= 2
@@ -435,7 +713,12 @@ class SynopsisSpec:
             else f"B={self.budget}"
         )
         parts = [self.kind, budget, self.metric.describe()]
-        if self.kind == "histogram":
+        if self.kind == "partitioned":
+            part = self.partition
+            assert part is not None  # paired at construction
+            parts.insert(1, part.base)
+            parts.append(f"shards={part.shards}({part.strategy}, {part.allocation})")
+        if self.base_kind == "histogram":
             if self.method == "approximate":
                 parts.append(f"approximate(eps={self.epsilon:g})")
             elif self.kernel != DEFAULT_KERNEL:

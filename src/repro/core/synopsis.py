@@ -123,8 +123,10 @@ def register_synopsis(kind: str):
 def _ensure_builtin_kinds() -> None:
     # The built-in value objects register themselves at import; import them
     # lazily so the registry is complete even when this module is imported
-    # directly (and to keep the module import-cycle free).
+    # directly (and to keep the module import-cycle free).  The partitioned
+    # composite lives outside repro.core but is every bit as built-in.
     from . import histogram, wavelet  # noqa: F401
+    from ..partition import synopsis  # noqa: F401
 
 
 def synopsis_class(kind: str) -> Type[Synopsis]:

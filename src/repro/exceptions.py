@@ -49,6 +49,17 @@ class BudgetClampWarning(UserWarning):
     """
 
 
+class BudgetSweepWarning(UserWarning):
+    """Warned when a budget sweep is not sorted and duplicate-free.
+
+    Duplicate budgets in a sweep do redundant work downstream (every budget
+    is built, keyed and cached independently), and unsorted sweeps make the
+    one-DP-serves-all-budgets reads needlessly cache-unfriendly; the spec
+    normalises the sweep to sorted-unique order and warns so the caller can
+    fix the call site.
+    """
+
+
 class WorldEnumerationError(ReproError, RuntimeError):
     """Raised when exhaustive possible-world enumeration would be too large.
 

@@ -1,0 +1,260 @@
+"""Optimal cross-shard budget allocation over error-vs-budget curves.
+
+Each shard's DP sweep yields a full curve ``c_k[b]`` — the optimal expected
+error of shard ``k`` with budget ``b`` (``numpy.inf`` marking infeasible
+budgets, e.g. a zero-bucket histogram).  Splitting a global budget ``B``
+across ``K`` shards is then the min-plus (tropical) combination
+
+    D_k[b] = min_{j} h(D_{k-1}[b - j], c_k[j]),
+
+with ``h = +`` for cumulative error metrics and ``h = max`` for maximum
+ones — exactly the budget-combination step the paper's error-tree wavelet DP
+performs at every internal node, applied across shards.  Because the DP
+enumerates every split, **no convexity of the curves is assumed**; the exact
+mode is provably optimal for the curves as given, which the test-suite pins
+against exhaustive enumeration (:meth:`BudgetAllocator.brute_force`).
+
+The greedy mode (steepest descent on the marginal error improvement) is the
+classical heuristic — optimal when every curve is convex, and kept here so
+the benchmark can report its optimality gap honestly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.spec import ALLOCATION_MODES
+from ..exceptions import SynopsisError
+
+__all__ = ["Allocation", "BudgetAllocator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """One budget split: per-shard budgets and the combined predicted error."""
+
+    budgets: Tuple[int, ...]
+    total_error: float
+    mode: str
+
+    @property
+    def total_budget(self) -> int:
+        """The summed per-shard budgets actually spent."""
+        return int(sum(self.budgets))
+
+
+class BudgetAllocator:
+    """Splits a global budget across shards given their error curves.
+
+    Parameters
+    ----------
+    curves:
+        One 1-D array per shard; ``curves[k][b]`` is the optimal error of
+        shard ``k`` under budget ``b``.  ``numpy.inf`` marks infeasible
+        budgets; every curve needs at least one finite entry.
+    aggregation:
+        ``"sum"`` for cumulative error metrics, ``"max"`` for maximum ones
+        (the ``h`` combiner).
+    """
+
+    def __init__(self, curves: Sequence[np.ndarray], *, aggregation: str = "sum"):
+        if aggregation not in ("sum", "max"):
+            raise SynopsisError(f"unknown aggregation {aggregation!r}")
+        if not curves:
+            raise SynopsisError("the allocator needs at least one shard curve")
+        self._aggregation = aggregation
+        self._curves: List[np.ndarray] = []
+        self._minimums: List[int] = []
+        for index, curve in enumerate(curves):
+            array = np.asarray(curve, dtype=float)
+            if array.ndim != 1 or array.size == 0:
+                raise SynopsisError(f"shard {index} curve must be a non-empty 1-D array")
+            finite = np.flatnonzero(np.isfinite(array))
+            if finite.size == 0:
+                raise SynopsisError(f"shard {index} curve has no feasible budget")
+            self._curves.append(array)
+            self._minimums.append(int(finite[0]))
+        # The exact DP table is built lazily and only ever grows; column b of
+        # row k is the optimal combined error of shards 0..k with budget b.
+        self._table: Optional[np.ndarray] = None
+        self._choice: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of shards ``K``."""
+        return len(self._curves)
+
+    @property
+    def aggregation(self) -> str:
+        """The error combiner: ``"sum"`` or ``"max"``."""
+        return self._aggregation
+
+    @property
+    def min_total(self) -> int:
+        """Smallest feasible global budget (every shard at its minimum)."""
+        return int(sum(self._minimums))
+
+    @property
+    def max_total(self) -> int:
+        """Largest useful global budget (every shard at its curve's cap)."""
+        return int(sum(curve.size - 1 for curve in self._curves))
+
+    def predicted_error(self, budgets: Sequence[int]) -> float:
+        """The combined error of one explicit per-shard budget split."""
+        if len(budgets) != self.shard_count:
+            raise SynopsisError(
+                f"expected {self.shard_count} per-shard budgets, got {len(budgets)}"
+            )
+        errors = []
+        for curve, budget in zip(self._curves, budgets):
+            budget = int(budget)
+            if not 0 <= budget < curve.size or not np.isfinite(curve[budget]):
+                raise SynopsisError(f"budget {budget} is infeasible for its shard curve")
+            errors.append(float(curve[budget]))
+        return float(sum(errors)) if self._aggregation == "sum" else float(max(errors))
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, budget: int, mode: str = "exact") -> Allocation:
+        """Split ``budget`` across the shards.
+
+        ``mode="exact"`` reads the min-plus DP (optimal for the given
+        curves); ``mode="greedy"`` runs the steepest-descent heuristic.
+        Budgets beyond :attr:`max_total` are clamped — extra space cannot
+        improve any shard.  Budgets below :attr:`min_total` are infeasible.
+        """
+        if mode not in ALLOCATION_MODES:
+            raise SynopsisError(
+                f"unknown allocation mode {mode!r}; expected one of {ALLOCATION_MODES}"
+            )
+        budget = int(budget)
+        if budget < self.min_total:
+            raise SynopsisError(
+                f"global budget {budget} cannot cover the {self.shard_count} shards' "
+                f"minimum of {self.min_total}"
+            )
+        budget = min(budget, self.max_total)
+        if mode == "greedy":
+            return self._greedy(budget)
+        return self._exact(budget)
+
+    def sweep(self, budgets: Sequence[int], mode: str = "exact") -> List[Allocation]:
+        """Allocations for several global budgets (one shared DP table).
+
+        The exact table is sized to the largest budget up front, so every
+        smaller budget of the sweep is a column read of the same DP.
+        """
+        if mode == "exact" and budgets:
+            self._ensure_table(min(max(int(b) for b in budgets), self.max_total))
+        return [self.allocate(b, mode) for b in budgets]
+
+    # ------------------------------------------------------------------
+    # Exact min-plus dynamic program
+    # ------------------------------------------------------------------
+    def _combine(self, prefix: np.ndarray, costs: np.ndarray) -> np.ndarray:
+        return prefix + costs if self._aggregation == "sum" else np.maximum(prefix, costs)
+
+    def _ensure_table(self, max_budget: int) -> None:
+        if self._table is not None and self._table.shape[1] > max_budget:
+            return
+        shards = self.shard_count
+        table = np.full((shards + 1, max_budget + 1), np.inf)
+        # choice[k, b] is the budget handed to shard k in the optimal split
+        # of b over shards 0..k; ties break towards the smallest budget so
+        # reconstruction is deterministic across platforms.
+        choice = np.full((shards, max_budget + 1), -1, dtype=np.int64)
+        table[0, 0] = 0.0
+        for k, curve in enumerate(self._curves):
+            cap = curve.size - 1
+            for b in range(max_budget + 1):
+                lo = self._minimums[k]
+                hi = min(cap, b)
+                if hi < lo:
+                    continue
+                shares = np.arange(lo, hi + 1)
+                candidates = self._combine(table[k, b - shares], curve[shares])
+                best = int(np.argmin(candidates))
+                if np.isfinite(candidates[best]):
+                    table[k + 1, b] = candidates[best]
+                    choice[k, b] = shares[best]
+        self._table = table
+        self._choice = choice
+
+    def _exact(self, budget: int) -> Allocation:
+        self._ensure_table(budget)
+        assert self._table is not None and self._choice is not None
+        total = float(self._table[self.shard_count, budget])
+        if not np.isfinite(total):  # pragma: no cover - guarded by min_total
+            raise SynopsisError(f"no feasible split of budget {budget}")
+        budgets = [0] * self.shard_count
+        remaining = budget
+        for k in range(self.shard_count - 1, -1, -1):
+            share = int(self._choice[k, remaining])
+            budgets[k] = share
+            remaining -= share
+        return Allocation(tuple(budgets), total, "exact")
+
+    # ------------------------------------------------------------------
+    # Greedy heuristic
+    # ------------------------------------------------------------------
+    def _greedy(self, budget: int) -> Allocation:
+        budgets = list(self._minimums)
+        errors = [float(curve[b]) for curve, b in zip(self._curves, budgets)]
+        for _ in range(budget - sum(budgets)):
+            best_shard = -1
+            best_value = np.inf
+            for k, curve in enumerate(self._curves):
+                if budgets[k] + 1 >= curve.size:
+                    continue
+                stepped = float(curve[budgets[k] + 1])
+                if self._aggregation == "sum":
+                    value = sum(errors) - errors[k] + stepped
+                else:
+                    value = max(stepped, *(e for j, e in enumerate(errors) if j != k), 0.0)
+                if value < best_value:
+                    best_value = value
+                    best_shard = k
+            if best_shard < 0:  # pragma: no cover - budget is clamped to max_total
+                break
+            budgets[best_shard] += 1
+            errors[best_shard] = float(self._curves[best_shard][budgets[best_shard]])
+        total = float(sum(errors)) if self._aggregation == "sum" else float(max(errors))
+        return Allocation(tuple(budgets), total, "greedy")
+
+    # ------------------------------------------------------------------
+    # Exhaustive reference (tests and the benchmark's optimality audit)
+    # ------------------------------------------------------------------
+    def brute_force(self, budget: int) -> Allocation:
+        """The best split by exhaustive enumeration — exponential; small inputs only.
+
+        The independent reference the exact DP is held to: it enumerates
+        every feasible composition of ``budget`` across the shards.
+        """
+        budget = min(int(budget), self.max_total)
+        if budget < self.min_total:
+            raise SynopsisError(
+                f"global budget {budget} cannot cover the {self.shard_count} shards' "
+                f"minimum of {self.min_total}"
+            )
+        ranges = [
+            range(minimum, min(curve.size - 1, budget) + 1)
+            for curve, minimum in zip(self._curves, self._minimums)
+        ]
+        best: Optional[Tuple[float, Tuple[int, ...]]] = None
+        for split in itertools.product(*ranges):
+            if sum(split) != budget:
+                continue
+            error = self.predicted_error(split)
+            if best is None or error < best[0]:
+                best = (error, split)
+        if best is None:  # pragma: no cover - guarded by min_total / max_total
+            raise SynopsisError(f"no feasible split of budget {budget}")
+        return Allocation(best[1], best[0], "brute_force")

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
@@ -89,6 +90,7 @@ class StoreStats:
     memory_hits: int = 0
     disk_hits: int = 0
     puts: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -102,6 +104,7 @@ class StoreStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "puts": self.puts,
+            "evictions": self.evictions,
         }
 
 
@@ -122,14 +125,43 @@ class SynopsisStore:
         persisted as ``<key>.json`` and survives the process; a fresh store
         over the same directory serves those entries as disk hits.  Without a
         directory the store is memory-only.
+    max_memory_entries:
+        Optional cap on the in-memory layer.  When set, the least recently
+        *used* entry (hit, loaded from disk, or inserted) is evicted once the
+        cap is exceeded, and every eviction is counted in
+        :attr:`StoreStats.evictions`.  Disk entries are never evicted — an
+        evicted synopsis with a disk layer simply degrades to a disk hit.
+        ``None`` (the default) keeps residency unbounded.
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None):
-        self._memory: Dict[str, _Entry] = {}
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        max_memory_entries: Optional[int] = None,
+    ):
+        if max_memory_entries is not None and int(max_memory_entries) < 1:
+            raise SynopsisError(
+                f"max_memory_entries must be at least 1, got {max_memory_entries}"
+            )
+        # Insertion/use order doubles as the LRU order: hits re-append.
+        self._memory: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._max_memory_entries = (
+            None if max_memory_entries is None else int(max_memory_entries)
+        )
         self._directory = None if directory is None else Path(directory)
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
+
+    def _remember(self, key: str, entry: _Entry) -> None:
+        """Insert/refresh one memory entry, evicting beyond the LRU cap."""
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        if self._max_memory_entries is not None:
+            while len(self._memory) > self._max_memory_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     # Keying — every key is derived from a SynopsisSpec
@@ -197,19 +229,20 @@ class SynopsisStore:
         """The cached synopsis under ``key``, or ``None`` (no stats update)."""
         entry = self._memory.get(key)
         if entry is not None:
+            self._memory.move_to_end(key)  # a hit is a use, in LRU terms
             return entry.synopsis
         path = self._path_for(key)
         if path is not None and path.exists():
             payload = json.loads(path.read_text())
             synopsis = synopsis_from_dict(payload["synopsis"])
-            self._memory[key] = _Entry(key, synopsis, payload.get("config", {}))
+            self._remember(key, _Entry(key, synopsis, payload.get("config", {})))
             return synopsis
         return None
 
     def put(self, key: str, synopsis: Synopsis, config: Optional[Dict] = None) -> None:
         """Insert a synopsis under an explicit key (memory and, if set, disk)."""
         config = dict(config or {})
-        self._memory[key] = _Entry(key, synopsis, config)
+        self._remember(key, _Entry(key, synopsis, config))
         self.stats.puts += 1
         path = self._path_for(key)
         if path is not None:
@@ -241,6 +274,19 @@ class SynopsisStore:
         """Drop the in-memory layer (disk entries, if any, survive)."""
         self._memory.clear()
 
+    def clear_disk(self) -> None:
+        """Drop the on-disk layer (in-memory entries survive).
+
+        The companion of :meth:`clear_memory` for operational cache resets:
+        removes every ``<key>.json`` entry of the store directory, so a
+        subsequent miss rebuilds and repersists.  A memory-only store is a
+        no-op.
+        """
+        if self._directory is None:
+            return
+        for path in self._directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+
     # ------------------------------------------------------------------
     # The front door
     # ------------------------------------------------------------------
@@ -248,6 +294,7 @@ class SynopsisStore:
         """One keyed lookup with stats attribution (memory, then disk)."""
         if key in self._memory:
             self.stats.memory_hits += 1
+            self._memory.move_to_end(key)
             return self._memory[key].synopsis
         cached = self.get(key)
         if cached is not None:

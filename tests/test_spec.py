@@ -17,7 +17,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Histogram, SynopsisSpec, WaveletSynopsis, build, build_synopsis
+from repro import (
+    Histogram,
+    PartitionedSynopsis,
+    SynopsisSpec,
+    WaveletSynopsis,
+    build,
+    build_synopsis,
+)
 from repro.core.metrics import ErrorMetric, MetricSpec
 from repro.core.synopsis import Synopsis, synopsis_class, synopsis_kinds
 from repro.core.workload import QueryWorkload
@@ -185,7 +192,7 @@ class TestSpecRoundTrip:
                     st.integers(min_value=1, max_value=512),
                     st.lists(
                         st.integers(min_value=1, max_value=512), min_size=1, max_size=5
-                    ).map(tuple),
+                    ).map(lambda entries: tuple(sorted(set(entries)))),
                 )
             ),
             metric=metric,
@@ -322,9 +329,10 @@ class TestSynopsisProtocol:
     """Kind routing goes through the registry, not isinstance chains."""
 
     def test_builtin_kinds_registered(self):
-        assert synopsis_kinds() == ("histogram", "wavelet")
+        assert synopsis_kinds() == ("histogram", "partitioned", "wavelet")
         assert synopsis_class("histogram") is Histogram
         assert synopsis_class("wavelet") is WaveletSynopsis
+        assert synopsis_class("partitioned") is PartitionedSynopsis
 
     def test_unknown_kind_raises(self):
         with pytest.raises(SynopsisError, match="unknown synopsis kind"):
