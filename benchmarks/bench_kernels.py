@@ -27,13 +27,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _env import environment
 from repro._version import __version__
 from repro.datasets import zipf_value_pdf
 from repro.histograms import make_cost_function, resolve_kernel
@@ -173,11 +173,7 @@ def main(argv=None) -> int:
         "benchmark": "kernels",
         "generated_by": "benchmarks/bench_kernels.py",
         "version": __version__,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment(),
         "target_speedup_vs_exact": TARGET_SPEEDUP,
         "meets_target": meets_target,
         "headline": headline,

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _env import environment
 from repro import FrequencyDistributions, SynopsisSpec, build, expected_error
 from repro._version import __version__
 from repro.core.spec import PartitionSpec
@@ -196,12 +196,7 @@ def main(argv=None) -> int:
         "generated_by": "benchmarks/bench_partition.py",
         "version": __version__,
         "smoke": args.smoke,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpus": __import__("os").cpu_count(),
-        },
+        "environment": environment(),
         "target_parallel_speedup": target,
         "meets_target": meets_target,
         "parallel_build": build_section,

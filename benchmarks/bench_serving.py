@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import tempfile
 import time
@@ -35,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _env import environment
 from repro._version import __version__
 from repro.core.workload import QueryWorkload
 from repro.datasets import zipf_value_pdf
@@ -175,11 +175,7 @@ def main(argv=None) -> int:
         "generated_by": "benchmarks/bench_serving.py",
         "version": __version__,
         "smoke": args.smoke,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment(),
         "config": {
             "domain_size": domain_size,
             "queries": query_count,

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _env import environment
 from repro._version import __version__
 from repro.datasets import zipf_value_pdf
 from repro.wavelets.nonsse import RestrictedWaveletDP
@@ -169,11 +169,7 @@ def main(argv=None) -> int:
         "generated_by": "benchmarks/bench_wavelet_dp.py",
         "version": __version__,
         "mode": "smoke" if args.smoke else "full",
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment(),
         "target_speedup_vs_reference": TARGET_SPEEDUP,
         "meets_target": meets_target,
         "worst_headline_speedup": worst_speedup,

@@ -46,9 +46,11 @@ from .exceptions import (
     BudgetSweepWarning,
     DomainError,
     EvaluationError,
+    KernelFallbackWarning,
     ModelValidationError,
     ReproError,
     SynopsisError,
+    WorkerClampWarning,
     WorldEnumerationError,
 )
 from .partition import PartitionedSynopsis
@@ -104,4 +106,6 @@ __all__ = [
     "WorldEnumerationError",
     "BudgetClampWarning",
     "BudgetSweepWarning",
+    "KernelFallbackWarning",
+    "WorkerClampWarning",
 ]

@@ -1,0 +1,22 @@
+"""Compiled (JIT / C) implementations of the package's hot loops.
+
+The histogram DP kernels and the wavelet leaf-error kernel are exact
+algorithms whose cost is dominated by two inner loops; this subpackage
+provides compiled implementations of both behind a single resolver:
+
+* :mod:`~repro._compiled.kernels_py` — the pure-Python algorithmic source
+  (nopython-subset; what numba compiles and what the tests verify);
+* :mod:`~repro._compiled.numba_backend` — ``@njit``-compiled, used when
+  numba is installed (``pip install repro-synopses[fast]``);
+* :mod:`~repro._compiled.cc_backend` — a ctypes-loaded shared library
+  compiled on demand from ``ckernels.c`` with the system C compiler;
+* :mod:`~repro._compiled.backend` — resolution, caching and the
+  ``REPRO_COMPILED_BACKEND`` override.
+
+Nothing here is required: when no backend is available the registry's numpy
+kernels solve everything, at the old speed.
+"""
+
+from .backend import CompiledBackend, get_backend, numba_version, reset_backend
+
+__all__ = ["CompiledBackend", "get_backend", "reset_backend", "numba_version"]

@@ -1,0 +1,107 @@
+"""Compiled-backend resolution: numba if installed, the C library otherwise.
+
+The rest of the package never imports a concrete backend module; it asks
+:func:`get_backend` for the process-wide :class:`CompiledBackend` (or
+``None`` when nothing compiled is available) and calls its three entry
+points.  All backends share one calling convention — the signatures of
+:mod:`repro._compiled.kernels_py` — so callers are backend-agnostic.
+
+Resolution order and the ``REPRO_COMPILED_BACKEND`` override:
+
+* ``auto`` (default): try ``numba``, then ``cc``; quietly ``None`` when
+  neither imports (absence is a supported configuration, not an error —
+  the numpy kernels remain the unconditional fallback).
+* ``numba`` / ``cc``: force exactly that backend, ``None`` if unavailable.
+* ``python``: the interpreted kernel source itself — far too slow for
+  production (the registry would rather fall back to numpy), but it lets
+  tests exercise the exact code numba compiles on machines without numba.
+* ``none``: disable compiled kernels entirely (CI uses this to keep the
+  pure-numpy resolution path green).
+
+The resolved backend is cached; :func:`reset_backend` clears the cache so
+tests can re-resolve under a monkeypatched environment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["CompiledBackend", "get_backend", "reset_backend", "numba_version"]
+
+#: Environment variable overriding backend resolution.
+BACKEND_ENV = "REPRO_COMPILED_BACKEND"
+
+_MODULES = {
+    "numba": "repro._compiled.numba_backend",
+    "cc": "repro._compiled.cc_backend",
+    "python": "repro._compiled.kernels_py",
+}
+
+#: Backends ``auto`` is allowed to pick, best first.  ``python`` is absent
+#: on purpose: interpreted loops lose to the numpy kernels.
+_AUTO_ORDER = ("numba", "cc")
+
+
+@dataclass(frozen=True)
+class CompiledBackend:
+    """One resolved compiled backend: a name plus its three entry points."""
+
+    name: str
+    dp_divide_conquer: Callable
+    dp_dense: Callable
+    leaf_errors: Callable
+    version: str
+
+
+_RESOLVED: "list[Optional[CompiledBackend]] | None" = None
+
+
+def _load(name: str) -> Optional[CompiledBackend]:
+    try:
+        module = importlib.import_module(_MODULES[name])
+    except ImportError:
+        return None
+    return CompiledBackend(
+        name=name,
+        dp_divide_conquer=module.dp_divide_conquer,
+        dp_dense=module.dp_dense,
+        leaf_errors=module.leaf_errors,
+        version=getattr(module, "version", "interpreted"),
+    )
+
+
+def get_backend() -> Optional[CompiledBackend]:
+    """The process-wide compiled backend, or ``None`` when unavailable."""
+    global _RESOLVED
+    if _RESOLVED is not None:
+        return _RESOLVED[0]
+    requested = os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+    if requested == "none":
+        backend: Optional[CompiledBackend] = None
+    elif requested in _MODULES:
+        backend = _load(requested)
+    else:
+        backend = None
+        for name in _AUTO_ORDER:
+            backend = _load(name)
+            if backend is not None:
+                break
+    _RESOLVED = [backend]
+    return backend
+
+
+def reset_backend() -> None:
+    """Forget the resolved backend so the next call re-resolves (tests)."""
+    global _RESOLVED
+    _RESOLVED = None
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version, or ``None`` — without importing repro state."""
+    try:
+        return importlib.import_module("numba").__version__
+    except ImportError:
+        return None

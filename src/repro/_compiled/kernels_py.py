@@ -1,0 +1,211 @@
+"""Pure-Python source of the compiled hot-loop kernels.
+
+These functions are the *algorithmic source of truth* for every compiled
+backend:
+
+* the numba backend (:mod:`repro._compiled.numba_backend`) compiles exactly
+  these functions with ``@njit`` — they are written in the nopython subset
+  (scalar loops, builtins, ``np.empty``/``np.inf`` only) so the jitted and
+  interpreted semantics are identical;
+* the C backend (:mod:`repro._compiled.cc_backend`) is a line-by-line
+  transliteration, kept honest by the equivalence tests that pin all
+  backends bit-identical to the numpy reference kernels;
+* the tests run these functions *interpreted* on small inputs, so the code
+  numba would compile stays verified even on machines without numba.
+
+Interpreted execution is orders of magnitude slower than the numpy kernels,
+so this module is never selected as a production backend — the registry
+falls back to the numpy kernels instead.
+
+All three DP functions operate on the *quadratic prefix form* of the bucket
+cost (see :meth:`repro.histograms.cost_base.BucketCostFunction.to_compiled_arrays`):
+
+    cost(s, e) = clip(X - Y^2 / Z, 0),  X/Y/Z = A/B/C[e+1] - A/B/C[s],
+
+with cost 0 wherever ``Z <= 0``.  The arithmetic — one multiply, one divide,
+one subtract, in that order — reproduces the numpy oracles' span costs
+bit-for-bit, which is what lets the compiled kernels inherit the registry's
+bit-identical-optimum test matrix unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dp_divide_conquer", "dp_dense", "leaf_errors"]
+
+
+def dp_divide_conquer(pa, pb, pc, errors, parents):
+    """Monotone split-point divide-and-conquer DP over flat prefix arrays.
+
+    Fills the whole ``(max_buckets, n)`` table: row 0 is the single-bucket
+    seed, every later row is solved by the classic divide-and-conquer
+    optimisation (valid when the oracle certifies the concave quadrangle
+    inequality).  Ties break towards the smallest split, matching the exact
+    kernel's ``argmin``.  ``O(B n log n)`` evaluations, ``O(log n)`` stack.
+    """
+    max_buckets = errors.shape[0]
+    n = errors.shape[1]
+    for j in range(n):
+        x = pa[j + 1] - pa[0]
+        y = pb[j + 1] - pb[0]
+        z = pc[j + 1] - pc[0]
+        if z > 0.0:
+            c = x - (y * y) / z
+            if c < 0.0:
+                c = 0.0
+        else:
+            c = 0.0
+        errors[0, j] = c
+        parents[0, j] = -1
+    # Explicit DFS stack of (j_lo, j_hi, s_lo, s_hi) subproblems; depth is
+    # bounded by log2(n) + 2, so 64 slots cover any addressable domain.
+    stack = np.empty((64, 4), dtype=np.int64)
+    for b in range(1, max_buckets):
+        for j in range(b):
+            # Fewer items than buckets: carry the previous row's solution.
+            errors[b, j] = errors[b - 1, j]
+            parents[b, j] = parents[b - 1, j]
+        stack[0, 0] = b
+        stack[0, 1] = n - 1
+        stack[0, 2] = b - 1
+        stack[0, 3] = n - 2
+        top = 1
+        while top > 0:
+            top -= 1
+            j_lo = stack[top, 0]
+            j_hi = stack[top, 1]
+            s_lo = stack[top, 2]
+            s_hi = stack[top, 3]
+            if j_lo > j_hi:
+                continue
+            mid = (j_lo + j_hi) // 2
+            # Candidate splits: [s_lo, min(s_hi, mid - 1)], never empty.
+            hi = s_hi
+            if mid - 1 < hi:
+                hi = mid - 1
+            best = np.inf
+            best_s = s_lo
+            for s in range(s_lo, hi + 1):
+                x = pa[mid + 1] - pa[s + 1]
+                y = pb[mid + 1] - pb[s + 1]
+                z = pc[mid + 1] - pc[s + 1]
+                if z > 0.0:
+                    c = x - (y * y) / z
+                    if c < 0.0:
+                        c = 0.0
+                else:
+                    c = 0.0
+                cand = errors[b - 1, s] + c
+                if cand < best:
+                    best = cand
+                    best_s = s
+            errors[b, mid] = best
+            parents[b, mid] = best_s
+            # Left half may not split later than best_s, right not earlier.
+            if mid + 1 <= j_hi:
+                stack[top, 0] = mid + 1
+                stack[top, 1] = j_hi
+                stack[top, 2] = best_s
+                stack[top, 3] = s_hi
+                top += 1
+            if j_lo <= mid - 1:
+                stack[top, 0] = j_lo
+                stack[top, 1] = mid - 1
+                stack[top, 2] = s_lo
+                stack[top, 3] = best_s
+                top += 1
+
+
+def dp_dense(pa, pb, pc, errors, parents):
+    """Dense min-plus DP recurrence over flat prefix arrays.
+
+    The unconditional ``O(B n^2)`` row sweep with every span cost
+    recomputed on the fly from the prefix arrays — no ``O(n^2)`` cost
+    matrix is ever materialised, which is what lifts the dense ceiling of
+    the numpy ``vectorized`` kernel.  Works for any quadratic-prefix
+    oracle (no monotonicity needed); ties break towards the smallest split.
+    """
+    max_buckets = errors.shape[0]
+    n = errors.shape[1]
+    for j in range(n):
+        x = pa[j + 1] - pa[0]
+        y = pb[j + 1] - pb[0]
+        z = pc[j + 1] - pc[0]
+        if z > 0.0:
+            c = x - (y * y) / z
+            if c < 0.0:
+                c = 0.0
+        else:
+            c = 0.0
+        errors[0, j] = c
+        parents[0, j] = -1
+    for b in range(1, max_buckets):
+        for j in range(b):
+            errors[b, j] = errors[b - 1, j]
+            parents[b, j] = parents[b - 1, j]
+        for j in range(b, n):
+            best = np.inf
+            best_s = b - 1
+            for s in range(b - 1, j):
+                x = pa[j + 1] - pa[s + 1]
+                y = pb[j + 1] - pb[s + 1]
+                z = pc[j + 1] - pc[s + 1]
+                if z > 0.0:
+                    c = x - (y * y) / z
+                    if c < 0.0:
+                        c = 0.0
+                else:
+                    c = 0.0
+                cand = errors[b - 1, s] + c
+                if cand < best:
+                    best = cand
+                    best_s = s
+            errors[b, j] = best
+            parents[b, j] = best_s
+
+
+def leaf_errors(probs, values, rows, incoming, weights, squared, relative, sanity, out):
+    """Weighted expected point errors of a batch of real-leaf pairs.
+
+    Pair ``p`` scores leaf row ``rows[p]`` of the ``(n, V)`` marginal matrix
+    against the candidate value ``incoming[p]`` under the point-error metric
+    selected by the ``squared``/``relative`` flags (with sanity constant
+    ``sanity``), times ``weights[p]``.  The accumulation over the value grid
+    uses the same fixed pairwise (binary-tree) bracketing as the numpy path
+    in :mod:`repro.wavelets.leaf_errors` — element ``i`` of each halving
+    pass sums elements ``2i`` and ``2i+1``, an odd tail rides along — so
+    the result is bit-identical to the numpy implementation no matter how
+    the batch is shaped.
+    """
+    v = values.shape[0]
+    scratch = np.empty(v, dtype=np.float64)
+    for p in range(rows.shape[0]):
+        r = rows[p]
+        inc = incoming[p]
+        for j in range(v):
+            d = values[j] - inc
+            if squared:
+                e = d * d
+            else:
+                e = abs(d)
+            if relative:
+                den = abs(values[j])
+                if sanity > den:
+                    den = sanity
+                if squared:
+                    e = e / (den * den)
+                else:
+                    e = e / den
+            scratch[j] = probs[r, j] * e
+        m = v
+        while m > 1:
+            half = m // 2
+            for i in range(half):
+                scratch[i] = scratch[2 * i] + scratch[2 * i + 1]
+            if m % 2 == 1:
+                scratch[half] = scratch[m - 1]
+                m = half + 1
+            else:
+                m = half
+        out[p] = weights[p] * scratch[0]

@@ -31,12 +31,18 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import warnings
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import BudgetClampWarning, BudgetSweepWarning, SynopsisError
+from ..exceptions import (
+    BudgetClampWarning,
+    BudgetSweepWarning,
+    SynopsisError,
+    WorkerClampWarning,
+)
 from .metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from .synopsis import synopsis_kinds
 from .workload import QueryWorkload
@@ -147,8 +153,10 @@ class PartitionSpec:
         The per-shard synopsis kind (``"histogram"`` or ``"wavelet"``).
     workers:
         Process-pool size for the parallel shard builds; ``None`` or ``0``
-        builds serially.  Parallelism cannot change the result, so this knob
-        is excluded from :meth:`canonical` (and hence from store keys).
+        builds serially.  Counts above ``os.cpu_count()`` are clamped with a
+        :class:`~repro.exceptions.WorkerClampWarning` (oversubscription only
+        adds pool overhead).  Parallelism cannot change the result, so this
+        knob is excluded from :meth:`canonical` (and hence from store keys).
     """
 
     shards: int
@@ -202,6 +210,19 @@ class PartitionSpec:
             workers = _coerce_int(self.workers, "the worker count")
             if workers < 0:
                 raise SynopsisError(f"the worker count must be non-negative, got {workers}")
+            cpus = os.cpu_count()
+            if cpus is not None and workers > cpus:
+                # Oversubscribing a CPU-bound process pool only adds pool
+                # overhead (workers=4 on a 1-CPU box benchmarks ~1.6x
+                # *slower* than serial); clamp loudly rather than oblige.
+                warnings.warn(
+                    WorkerClampWarning(
+                        f"workers={workers} exceeds the {cpus} available CPU(s); "
+                        f"clamping to {cpus}"
+                    ),
+                    stacklevel=2,
+                )
+                workers = cpus
             object.__setattr__(self, "workers", workers)
 
     # ------------------------------------------------------------------

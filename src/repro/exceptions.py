@@ -49,6 +49,29 @@ class BudgetClampWarning(UserWarning):
     """
 
 
+class KernelFallbackWarning(UserWarning):
+    """Warned when a named DP kernel request resolves to a different kernel.
+
+    Requesting a kernel that cannot solve the given oracle exactly (e.g.
+    ``divide_conquer`` on a non-monotone oracle, or a ``compiled_*`` kernel
+    with no compiled backend installed) falls back along the registry's
+    preference order.  The optimum is unchanged — only the speed — but the
+    fallback used to be silent; this warning names both the requested and
+    the resolved kernel so the caller can fix the call site (or install the
+    ``[fast]`` extra).
+    """
+
+
+class WorkerClampWarning(UserWarning):
+    """Warned when a requested worker count exceeds the available CPUs.
+
+    Oversubscribing a process pool cannot speed a CPU-bound shard build up —
+    it measurably slows it down (pure pool overhead on a smaller machine) —
+    so :class:`~repro.core.spec.PartitionSpec` clamps ``workers`` to
+    ``os.cpu_count()`` and makes the clamp visible instead of silent.
+    """
+
+
 class BudgetSweepWarning(UserWarning):
     """Warned when a budget sweep is not sorted and duplicate-free.
 

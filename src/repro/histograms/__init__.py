@@ -34,6 +34,8 @@ from .dp import (
 )
 from .factory import make_cost_function, solve_histogram_dp
 from .kernels import (
+    CompiledDivideConquerKernel,
+    CompiledVectorizedKernel,
     DivideConquerKernel,
     DPKernel,
     ExactKernel,
@@ -55,6 +57,8 @@ __all__ = [
     "ExactKernel",
     "VectorizedKernel",
     "DivideConquerKernel",
+    "CompiledVectorizedKernel",
+    "CompiledDivideConquerKernel",
     "register_kernel",
     "get_kernel",
     "resolve_kernel",

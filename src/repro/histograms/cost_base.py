@@ -21,7 +21,7 @@ for one ragged batch per recursion level.
 from __future__ import annotations
 
 import abc
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -99,6 +99,26 @@ class BucketCostFunction(abc.ABC):
         return np.array(
             [self.cost(int(s), int(e)) for s, e in zip(starts, ends)], dtype=float
         )
+
+    def to_compiled_arrays(self) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Flat prefix-array state for the compiled DP kernels, or ``None``.
+
+        Oracles whose bucket cost has the *quadratic prefix form*
+
+            cost(s, e) = clip(X - Y^2 / Z, 0)   with
+            X = A[e+1] - A[s],  Y = B[e+1] - B[s],  Z = C[e+1] - C[s]
+
+        (and cost 0 wherever ``Z <= 0``) return the three length-``n+1``
+        float64 prefix arrays ``(A, B, C)``.  This is the contract the
+        compiled kernels (:mod:`repro._compiled`) run on: flat numpy state,
+        no Python callbacks in the hot loop, and arithmetic that reproduces
+        :meth:`costs_for_spans` bit-for-bit (same operations in the same
+        order on the same doubles).  SSE (fixed variant) and SSRE qualify;
+        the pooled-median and maximum-error oracles, and the paper-variant
+        SSE with its cross-item corrections, return ``None`` and keep using
+        the batch-oracle kernels.
+        """
+        return None
 
     def costs_for_starts(self, starts: np.ndarray, end: int) -> np.ndarray:
         """Optimal costs of all buckets ``[start, end]`` for the given starts.

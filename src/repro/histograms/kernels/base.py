@@ -143,6 +143,16 @@ class DPKernel(abc.ABC):
     #: Registry name of the kernel (``"exact"``, ``"vectorized"``, ...).
     name: str = ""
 
+    def available(self) -> bool:
+        """Whether this kernel can run at all in the current environment.
+
+        The numpy kernels are always available; the compiled kernels depend
+        on an optional backend (numba or a C compiler) and report ``False``
+        without one, which drops them from ``available_kernels()`` and from
+        ``auto`` resolution.
+        """
+        return True
+
     def supports(self, cost_fn: BucketCostFunction) -> bool:
         """Whether this kernel can solve the DP for the given oracle exactly."""
         return True

@@ -202,6 +202,20 @@ class SseCost(BucketCostFunction):
             cost -= self._bucket_total_variance(start, end) / width
         return max(cost, 0.0), float(representative)
 
+    def to_compiled_arrays(self):
+        """Quadratic-prefix state for the compiled kernels (fixed variant only).
+
+        The fixed-representative cost is exactly
+        ``sum w E[g^2] - (sum w E[g])^2 / sum w`` — the quadratic prefix form
+        over the second-moment / expectation / weight prefix arrays.  The
+        paper variant subtracts a width-scaled bucket-total variance on top,
+        which the flat contract cannot express, so it stays on the
+        batch-oracle kernels.
+        """
+        if self._variant != "fixed":
+            return None
+        return self._prefix_second_moment, self._prefix_expectation, self._prefix_weight
+
     def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)

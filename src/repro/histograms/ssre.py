@@ -100,6 +100,10 @@ class SsreCost(BucketCostFunction):
         cost = x - (y * y) / z
         return max(cost, 0.0), float(representative)
 
+    def to_compiled_arrays(self):
+        """Quadratic-prefix state for the compiled kernels: the X/Y/Z arrays."""
+        return self._prefix_x, self._prefix_y, self._prefix_z
+
     def costs_for_spans(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)

@@ -21,6 +21,14 @@ only on the grid size — never on the batch size — which is what lets the
 equivalence tests and the benchmark demand *bit-identical* optima from the
 two solvers instead of tolerances, while still costing only ``log V``
 vectorised passes.
+
+When a compiled backend (:mod:`repro._compiled`) is available, the
+real-leaf batch runs through its compiled ``leaf_errors`` kernel instead of
+the numpy chunk loop.  The compiled kernel replicates the point-error
+arithmetic *and* the pairwise bracketing operation for operation, so its
+results are bit-identical to the numpy path — both restricted-DP solvers
+share this function either way, so their equivalence is preserved by
+construction.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compiled import get_backend
 from ..core.metrics import MetricSpec
 
 __all__ = ["expected_leaf_errors", "leaf_weight_vector"]
@@ -96,16 +105,66 @@ def expected_leaf_errors(
         )
 
     real = np.nonzero(live & (leaf_indices < domain_size))[0]
+    if real.size == 0:
+        return out
+    backend = get_backend()
+    if backend is not None:
+        out[real] = _compiled_batch(
+            backend, probabilities, values, spec, leaf_indices[real], incoming[real],
+            weights[real],
+        )
+    else:
+        out[real] = _numpy_batch(
+            probabilities, values, spec, leaf_indices[real], incoming[real], weights[real]
+        )
+    return out
+
+
+def _numpy_batch(
+    probabilities: np.ndarray,
+    values: np.ndarray,
+    spec: MetricSpec,
+    rows: np.ndarray,
+    incoming: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """The vectorised numpy evaluation of a real-leaf batch (the reference)."""
+    out = np.empty(incoming.shape, dtype=float)
     grid_size = values.size
     chunk = max(1, _CELL_BUDGET // max(1, grid_size))
-    for start in range(0, real.size, chunk):
-        pairs = real[start : start + chunk]
+    for start in range(0, rows.size, chunk):
+        stop = start + chunk
         # (V, P) point errors of every grid value against every candidate.
         errors = np.asarray(
-            spec.point_error(values[:, None], incoming[pairs][None, :]), dtype=float
+            spec.point_error(values[:, None], incoming[start:stop][None, :]), dtype=float
         )
-        products = probabilities[leaf_indices[pairs]] * errors.T
-        out[pairs] = weights[pairs] * _pairwise_sum(products)
+        products = probabilities[rows[start:stop]] * errors.T
+        out[start:stop] = weights[start:stop] * _pairwise_sum(products)
+    return out
+
+
+def _compiled_batch(
+    backend,
+    probabilities: np.ndarray,
+    values: np.ndarray,
+    spec: MetricSpec,
+    rows: np.ndarray,
+    incoming: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """The same batch through the compiled backend (bit-identical results)."""
+    out = np.empty(incoming.shape, dtype=np.float64)
+    backend.leaf_errors(
+        np.ascontiguousarray(probabilities, dtype=np.float64),
+        np.ascontiguousarray(values, dtype=np.float64),
+        np.ascontiguousarray(rows, dtype=np.int64),
+        np.ascontiguousarray(incoming, dtype=np.float64),
+        np.ascontiguousarray(weights, dtype=np.float64),
+        spec.squared,
+        spec.relative,
+        float(spec.sanity),
+        out,
+    )
     return out
 
 

@@ -1,0 +1,371 @@
+"""Compiled-backend tests: resolution, degradation, and bit-identity.
+
+The compiled kernels' contract has three legs, each pinned here:
+
+* **bit-identity** — whichever backend resolves (numba, the C library, or
+  the interpreted kernel source), the DP tables and leaf-error batches it
+  produces are ``array_equal`` to the numpy reference paths, never merely
+  close;
+* **truthful availability** — with no backend, ``available_kernels()``
+  omits the compiled kernels, ``resolve_kernel`` falls back loudly
+  (:class:`KernelFallbackWarning`), and nothing anywhere hard-imports
+  numba;
+* **the flat-oracle contract** — ``to_compiled_arrays()`` returns prefix
+  arrays that reproduce ``costs_for_spans`` exactly for the quadratic
+  oracles and ``None`` everywhere the closed form does not apply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import KernelFallbackWarning
+from repro._compiled import backend as backend_mod
+from repro._compiled import get_backend, numba_version, reset_backend
+from repro._compiled import kernels_py
+from repro.core.metrics import MetricSpec
+from repro.exceptions import SynopsisError
+from repro.histograms import (
+    CompiledDivideConquerKernel,
+    CompiledVectorizedKernel,
+    SseCost,
+    available_kernels,
+    make_cost_function,
+    resolve_kernel,
+)
+from repro.histograms.kernels import get_kernel
+from repro.histograms.kernels.compiled import MAX_COMPILED_DENSE_CELLS
+from repro.models import FrequencyDistributions, ValueGrid
+from repro.wavelets.leaf_errors import _compiled_batch, _numpy_batch, expected_leaf_errors
+from tests.conftest import small_tuple_pdf, small_value_pdf
+
+HAVE_BACKEND = get_backend() is not None
+needs_backend = pytest.mark.skipif(not HAVE_BACKEND, reason="no compiled backend available")
+
+
+@pytest.fixture
+def clean_backend(monkeypatch):
+    """Reset the memoised backend before and after an env-twiddling test."""
+    reset_backend()
+    yield monkeypatch
+    reset_backend()
+
+
+def ranked_model(n=40, grid=8, seed=100):
+    """A frequency-ranked FrequencyDistributions (monotone certificate holds)."""
+    rng = np.random.default_rng(seed)
+    values = np.concatenate([[0.0], np.sort(rng.uniform(1.0, 20.0, grid - 1))])
+    probabilities = rng.dirichlet(np.ones(grid), size=n)
+    expectations = probabilities @ values
+    probabilities = probabilities[np.argsort(expectations)]
+    return FrequencyDistributions(ValueGrid(values), probabilities, copy=False)
+
+
+def assert_same_tables(result, reference):
+    assert np.array_equal(result._errors, reference._errors)
+    assert np.array_equal(result._parents, reference._parents)
+    n = reference._errors.shape[1]
+    for buckets in (1, 2, reference._errors.shape[0]):
+        assert result.boundaries(buckets) == reference.boundaries(buckets)
+        assert result.optimal_error(buckets) == reference.optimal_error(buckets)
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_default_resolution_is_memoised(self):
+        assert get_backend() is get_backend()
+
+    def test_none_disables(self, clean_backend):
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "none")
+        assert get_backend() is None
+
+    def test_python_backend_is_the_interpreted_source(self, clean_backend):
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "python")
+        backend = get_backend()
+        assert backend is not None
+        assert backend.name == "python"
+        assert backend.dp_divide_conquer is kernels_py.dp_divide_conquer
+
+    def test_missing_forced_backend_degrades_to_none(self, clean_backend):
+        # Simulate "numba is not installed" regardless of this machine: the
+        # backend module's import fails, resolution returns None, nothing
+        # raises at import or resolve time.
+        clean_backend.setitem(
+            backend_mod._MODULES, "numba", "repro._compiled._no_such_backend"
+        )
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "numba")
+        assert get_backend() is None
+
+    def test_auto_skips_broken_backends(self, clean_backend):
+        clean_backend.setitem(
+            backend_mod._MODULES, "numba", "repro._compiled._no_such_backend"
+        )
+        clean_backend.setitem(backend_mod._MODULES, "cc", "repro._compiled._no_such_backend")
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "auto")
+        assert get_backend() is None
+
+    def test_numba_version_reporting_is_truthful(self):
+        version = numba_version()
+        try:
+            import numba  # noqa: F401
+
+            assert version == numba.__version__
+        except ImportError:
+            assert version is None
+
+
+# ----------------------------------------------------------------------
+# Registry availability and fallback
+# ----------------------------------------------------------------------
+class TestAvailabilityAndFallback:
+    @needs_backend
+    def test_compiled_kernels_listed_when_backend_present(self):
+        names = available_kernels()
+        assert "compiled_divide_conquer" in names
+        assert "compiled_vectorized" in names
+
+    def test_compiled_kernels_dropped_without_backend(self, clean_backend):
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "none")
+        names = available_kernels()
+        assert "compiled_divide_conquer" not in names
+        assert "compiled_vectorized" not in names
+        # The numpy kernels are unconditionally present.
+        assert {"exact", "vectorized", "divide_conquer"} <= set(names)
+
+    def test_named_request_falls_back_loudly_without_backend(self, clean_backend):
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "none")
+        cost_fn = SseCost(ranked_model())
+        with pytest.warns(KernelFallbackWarning, match="compiled_divide_conquer"):
+            kernel = resolve_kernel("compiled_divide_conquer", cost_fn)
+        assert kernel.name == "divide_conquer"
+
+    def test_auto_prefers_compiled_only_when_available(self, clean_backend):
+        cost_fn = SseCost(ranked_model())
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "none")
+        assert resolve_kernel("auto", cost_fn).name == "divide_conquer"
+
+    @needs_backend
+    def test_auto_prefers_compiled_divide_conquer(self):
+        assert resolve_kernel("auto", SseCost(ranked_model())).name == (
+            "compiled_divide_conquer"
+        )
+
+    def test_solve_without_backend_raises_cleanly(self, clean_backend):
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "none")
+        cost_fn = SseCost(ranked_model())
+        for kernel in (CompiledDivideConquerKernel(), CompiledVectorizedKernel()):
+            assert not kernel.available()
+            assert not kernel.supports(cost_fn)
+            with pytest.raises(SynopsisError, match="compiled backend"):
+                kernel.solve(cost_fn, 4)
+
+    def test_warning_type_is_exported(self):
+        assert repro.KernelFallbackWarning is KernelFallbackWarning
+        assert issubclass(KernelFallbackWarning, UserWarning)
+
+
+# ----------------------------------------------------------------------
+# Bit-identical DP equivalence
+# ----------------------------------------------------------------------
+@needs_backend
+class TestCompiledDPEquivalence:
+    @pytest.mark.parametrize("metric", ["sse", "ssre"])
+    def test_divide_conquer_matches_exact_on_ranked_models(self, metric):
+        model = small_value_pdf(seed=930, domain_size=12)
+        dists = model.to_frequency_distributions()
+        order = np.argsort(model.expected_frequencies())
+        ranked = type(dists)(dists.grid, dists.probabilities[order])
+        cost_fn = make_cost_function(ranked, metric, sanity=1.0)
+        if not cost_fn.supports_monotone_splits:
+            pytest.skip("sorting expectations did not certify this oracle")
+        kernel = get_kernel("compiled_divide_conquer")
+        assert kernel.supports(cost_fn)
+        assert_same_tables(kernel.solve(cost_fn, 12), get_kernel("exact").solve(cost_fn, 12))
+
+    @pytest.mark.parametrize("metric", ["sse", "ssre"])
+    @pytest.mark.parametrize(
+        "factory", [small_value_pdf, small_tuple_pdf], ids=["value_pdf", "tuple_pdf"]
+    )
+    def test_dense_matches_exact_on_unordered_models(self, metric, factory):
+        model = factory(seed=931, domain_size=10)
+        cost_fn = make_cost_function(model, metric, sanity=0.5)
+        kernel = get_kernel("compiled_vectorized")
+        assert kernel.supports(cost_fn)
+        assert_same_tables(kernel.solve(cost_fn, 10), get_kernel("exact").solve(cost_fn, 10))
+
+    def test_workload_weighted_equivalence(self):
+        model = small_value_pdf(seed=932, domain_size=9)
+        weights = np.random.default_rng(932).uniform(0.1, 2.0, 9)
+        cost_fn = make_cost_function(model, "sse", workload=weights)
+        assert_same_tables(
+            get_kernel("compiled_vectorized").solve(cost_fn, 9),
+            get_kernel("exact").solve(cost_fn, 9),
+        )
+
+    def test_single_item_and_full_budget_boundaries(self):
+        cost_fn = SseCost(ranked_model(n=1))
+        result = get_kernel("compiled_divide_conquer").solve(cost_fn, 1)
+        assert result.boundaries(1) == [(0, 0)]
+        # One bucket over one uncertain item costs its variance, exactly as
+        # the reference kernel computes it.
+        reference = get_kernel("exact").solve(cost_fn, 1)
+        assert result.optimal_error(1) == reference.optimal_error(1)
+
+    def test_divide_conquer_refuses_unordered_oracles(self):
+        model = small_value_pdf(seed=933, domain_size=8)
+        cost_fn = make_cost_function(model, "sse")
+        assert not cost_fn.supports_monotone_splits
+        assert not get_kernel("compiled_divide_conquer").supports(cost_fn)
+        with pytest.raises(SynopsisError, match="monotone"):
+            get_kernel("compiled_divide_conquer").solve(cost_fn, 3)
+
+    def test_compiled_kernels_refuse_non_quadratic_oracles(self):
+        model = small_value_pdf(seed=934, domain_size=8)
+        for metric in ("sae", "sare"):
+            cost_fn = make_cost_function(model, metric, sanity=1.0)
+            assert cost_fn.to_compiled_arrays() is None
+            assert not get_kernel("compiled_vectorized").supports(cost_fn)
+            with pytest.raises(SynopsisError, match="quadratic-prefix"):
+                get_kernel("compiled_vectorized").solve(cost_fn, 3)
+
+    def test_dense_kernel_latency_cap(self):
+        cost_fn = SseCost(ranked_model())
+        kernel = get_kernel("compiled_vectorized")
+        assert kernel.supports(cost_fn)
+        n = cost_fn.domain_size
+        assert n * n <= MAX_COMPILED_DENSE_CELLS
+        # A fake domain size past the cap must be refused, not attempted.
+        cap_n = int(np.sqrt(MAX_COMPILED_DENSE_CELLS)) + 1
+
+        class _Huge:
+            domain_size = cap_n * cap_n
+
+        with pytest.raises(SynopsisError, match="latency cap"):
+            kernel.solve(_Huge(), 3)
+
+
+# ----------------------------------------------------------------------
+# The interpreted kernel source (what numba compiles) vs the numpy kernels
+# ----------------------------------------------------------------------
+class TestInterpretedKernelSource:
+    """Run kernels_py directly so the numba source is validated even on
+    machines where numba itself is absent."""
+
+    def _tables(self, cost_fn, max_buckets, fn):
+        pa, pb, pc = (
+            np.ascontiguousarray(a, dtype=np.float64) for a in cost_fn.to_compiled_arrays()
+        )
+        n = cost_fn.domain_size
+        errors = np.empty((max_buckets, n), dtype=np.float64)
+        parents = np.empty((max_buckets, n), dtype=np.int64)
+        fn(pa, pb, pc, errors, parents)
+        return errors, parents
+
+    def test_interpreted_dense_matches_exact(self):
+        cost_fn = SseCost(ranked_model(n=14, seed=101))
+        reference = get_kernel("exact").solve(cost_fn, 6)
+        errors, parents = self._tables(cost_fn, 6, kernels_py.dp_dense)
+        assert np.array_equal(errors, reference._errors)
+        assert np.array_equal(parents, reference._parents)
+
+    def test_interpreted_divide_conquer_matches_exact(self):
+        cost_fn = SseCost(ranked_model(n=14, seed=102))
+        assert cost_fn.supports_monotone_splits
+        reference = get_kernel("exact").solve(cost_fn, 6)
+        errors, parents = self._tables(cost_fn, 6, kernels_py.dp_divide_conquer)
+        assert np.array_equal(errors, reference._errors)
+        assert np.array_equal(parents, reference._parents)
+
+    def test_interpreted_leaf_errors_match_numpy(self):
+        rng = np.random.default_rng(103)
+        probabilities = rng.dirichlet(np.ones(6), size=9)
+        values = np.sort(rng.uniform(0.0, 5.0, 6))
+        rows = np.arange(9, dtype=np.int64)
+        incoming = rng.uniform(0.0, 5.0, 9)
+        weights = rng.uniform(0.5, 2.0, 9)
+        for metric in ("sae", "sse", "sare", "ssre"):
+            spec = MetricSpec.of(metric, sanity=0.5)
+            baseline = _numpy_batch(probabilities, values, spec, rows, incoming, weights)
+            out = np.empty(9)
+            kernels_py.leaf_errors(
+                probabilities, values, rows, incoming, weights,
+                spec.squared, spec.relative, float(spec.sanity), out,
+            )
+            assert np.array_equal(out, baseline), metric
+
+
+# ----------------------------------------------------------------------
+# The flat-oracle contract
+# ----------------------------------------------------------------------
+class TestToCompiledArrays:
+    @pytest.mark.parametrize("metric", ["sse", "ssre"])
+    def test_quadratic_prefix_reproduces_costs_exactly(self, metric):
+        model = small_value_pdf(seed=940, domain_size=11)
+        cost_fn = make_cost_function(model, metric, sanity=0.7)
+        pa, pb, pc = cost_fn.to_compiled_arrays()
+        n = cost_fn.domain_size
+        assert pa.shape == pb.shape == pc.shape == (n + 1,)
+        starts, ends = np.tril_indices(n)
+        ends, starts = starts, ends  # tril gives (row >= col): row=end, col=start
+        x = pa[ends + 1] - pa[starts]
+        y = pb[ends + 1] - pb[starts]
+        z = pc[ends + 1] - pc[starts]
+        safe = np.where(z > 0.0, z, 1.0)
+        costs = np.where(z > 0.0, x - (y ** 2) / safe, 0.0)
+        costs = np.maximum(costs, 0.0)
+        assert np.array_equal(costs, cost_fn.costs_for_spans(starts, ends))
+
+    def test_paper_sse_variant_opts_out(self):
+        model = small_tuple_pdf(seed=941, domain_size=7)
+        cost_fn = make_cost_function(model, "sse", sse_variant="paper")
+        assert cost_fn.to_compiled_arrays() is None
+
+    @pytest.mark.parametrize("metric", ["sae", "sare", "mae", "mare"])
+    def test_non_quadratic_oracles_opt_out(self, metric):
+        model = small_value_pdf(seed=942, domain_size=7)
+        cost_fn = make_cost_function(model, metric, sanity=1.0)
+        assert cost_fn.to_compiled_arrays() is None
+
+
+# ----------------------------------------------------------------------
+# Wavelet leaf-error fast path
+# ----------------------------------------------------------------------
+@needs_backend
+class TestCompiledLeafErrors:
+    @pytest.mark.parametrize("metric", ["sae", "sse", "sare", "ssre"])
+    def test_batch_bit_identical_to_numpy(self, metric):
+        rng = np.random.default_rng(950)
+        probabilities = rng.dirichlet(np.ones(7), size=12)
+        values = np.sort(rng.uniform(0.0, 9.0, 7))
+        rows = np.repeat(np.arange(12, dtype=np.int64), 3)
+        incoming = rng.uniform(0.0, 9.0, rows.size)
+        weights = rng.uniform(0.1, 3.0, rows.size)
+        spec = MetricSpec.of(metric, sanity=0.5)
+        baseline = _numpy_batch(probabilities, values, spec, rows, incoming, weights)
+        compiled = _compiled_batch(
+            get_backend(), probabilities, values, spec, rows, incoming, weights
+        )
+        assert np.array_equal(compiled, baseline)
+
+    def test_end_to_end_matches_backendless_path(self, clean_backend):
+        rng = np.random.default_rng(951)
+        probabilities = rng.dirichlet(np.ones(5), size=8)
+        values = np.sort(rng.uniform(0.0, 4.0, 5))
+        spec = MetricSpec.of("sare", sanity=1.0)
+        # Padding leaves, zero weights and real leaves all mixed in one batch.
+        leaf_indices = np.array([0, 3, 7, 8, 9, 5], dtype=np.int64)
+        incoming = rng.uniform(0.0, 4.0, 6)
+        leaf_weights = np.array([1.0, 0.0, 2.0, 1.5, 1.0, 0.5, 1.0, 0.25, 2.0, 0.0])
+        with_backend = expected_leaf_errors(
+            probabilities, values, spec, leaf_indices, incoming, leaf_weights
+        )
+        clean_backend.setenv(backend_mod.BACKEND_ENV, "none")
+        reset_backend()
+        without_backend = expected_leaf_errors(
+            probabilities, values, spec, leaf_indices, incoming, leaf_weights
+        )
+        assert np.array_equal(with_backend, without_backend)

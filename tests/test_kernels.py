@@ -34,7 +34,17 @@ from tests.conftest import small_tuple_pdf, small_value_pdf
 CUMULATIVE_METRICS = ["sse", "ssre", "sae", "sare"]
 MAX_METRICS = ["mae", "mare"]
 ALL_METRICS = CUMULATIVE_METRICS + MAX_METRICS
-KERNELS = ["exact", "vectorized", "divide_conquer"]
+PURE_KERNELS = ["exact", "vectorized", "divide_conquer"]
+# Compiled kernels join the equivalence matrix whenever a backend exists in
+# this environment; without one, resolve_kernel falls back (tested in
+# tests/test_compiled_kernels.py) and re-checking the numpy kernels here
+# would be redundant.
+COMPILED_KERNELS = [
+    name
+    for name in ("compiled_vectorized", "compiled_divide_conquer")
+    if name in available_kernels()
+]
+KERNELS = PURE_KERNELS + COMPILED_KERNELS
 
 
 def assert_kernels_agree(cost_fn, max_buckets=None):
@@ -112,7 +122,10 @@ class TestDivideConquerFastPath:
         )
         assert cost_fn.supports_monotone_splits
         assert DivideConquerKernel().supports(cost_fn)
-        assert resolve_kernel("auto", cost_fn).name == "divide_conquer"
+        # ``auto`` takes a divide-and-conquer fast path — the compiled one
+        # when a backend is available and the oracle exports prefix arrays,
+        # the numpy one otherwise.
+        assert resolve_kernel("auto", cost_fn).name.endswith("divide_conquer")
         assert_kernels_agree(cost_fn)
 
     @pytest.mark.parametrize("metric", ["sse", "ssre"])

@@ -13,6 +13,9 @@ The acceptance matrix of the subsystem:
 
 from __future__ import annotations
 
+import os
+import warnings
+
 import numpy as np
 import pytest
 
@@ -26,7 +29,7 @@ from repro import (
 )
 from repro.cli import main
 from repro.core.workload import QueryWorkload
-from repro.exceptions import BudgetSweepWarning, SynopsisError
+from repro.exceptions import BudgetSweepWarning, SynopsisError, WorkerClampWarning
 from repro.io import synopsis_from_dict, synopsis_to_dict
 from repro.partition import BudgetAllocator, Partitioner, build_shards, shard_spans
 from repro.service import BatchQueryEngine, QueryBatch, SynopsisStore
@@ -437,8 +440,24 @@ class TestPartitionSpec:
         pooled = partitioned_spec(budget=10, shards=3, workers=8)
         assert serial.canonical() == pooled.canonical()
         assert serial.store_key("f" * 64) == pooled.store_key("f" * 64)
-        # ... but the serialised form keeps the knob.
-        assert SynopsisSpec.from_json(pooled.to_json()).partition.workers == 8
+        # ... but the serialised form keeps the knob (as clamped, so the
+        # round trip is stable on any machine).
+        restored = SynopsisSpec.from_json(pooled.to_json()).partition.workers
+        assert restored == pooled.partition.workers
+        assert restored == min(8, os.cpu_count() or 8)
+
+    def test_workers_clamped_to_cpu_count(self):
+        cpus = os.cpu_count()
+        assert cpus is not None  # the clamp is a no-op on exotic platforms
+        with pytest.warns(WorkerClampWarning, match="clamping"):
+            spec = PartitionSpec(shards=2, workers=cpus + 5)
+        assert spec.workers == cpus
+        with warnings.catch_warnings():
+            # At or below the machine's CPU count nothing warns or changes.
+            warnings.simplefilter("error", WorkerClampWarning)
+            assert PartitionSpec(shards=2, workers=cpus).workers == cpus
+            assert PartitionSpec(shards=2, workers=0).workers == 0
+            assert PartitionSpec(shards=2).workers is None
 
     def test_partition_parameters_change_the_key(self):
         base = partitioned_spec(budget=10, shards=3)
