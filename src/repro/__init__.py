@@ -49,6 +49,7 @@ from .exceptions import (
     KernelFallbackWarning,
     ModelValidationError,
     ReproError,
+    StoreCorruptionError,
     SynopsisError,
     WorkerClampWarning,
     WorldEnumerationError,
@@ -103,6 +104,7 @@ __all__ = [
     "DomainError",
     "SynopsisError",
     "EvaluationError",
+    "StoreCorruptionError",
     "WorldEnumerationError",
     "BudgetClampWarning",
     "BudgetSweepWarning",

@@ -167,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
     serving_config.add_argument("--input", required=True, help="model JSON file")
     serving_config.add_argument("--store", required=True, help="synopsis store directory")
     serving_config.add_argument(
+        "--store-format", choices=["json", "columnar"], default="json",
+        help="on-disk store backend: human-readable JSON entries (default) or "
+        "the binary columnar pack with zero-copy mmap loads",
+    )
+    serving_config.add_argument(
         "--spec", metavar="FILE", default=None,
         help="SynopsisSpec JSON file; replaces the individual build flags",
     )
@@ -226,6 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--replay", type=int, default=0, metavar="N",
                        help="generate and replay a mix of N workload-driven queries")
     query.add_argument("--seed", type=int, default=7, help="seed for --replay")
+    query.add_argument("--stats", action="store_true",
+                       help="append the store's hit/build counters and timings")
+
+    # store ---------------------------------------------------------------
+    store = subparsers.add_parser(
+        "store", help="operate on a synopsis store directory",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_commands.add_parser(
+        "inspect",
+        help="print the store's header index (keys, kinds, segments, offsets)",
+    )
+    inspect.add_argument("--store", required=True, help="synopsis store directory")
+    inspect.add_argument(
+        "--format", choices=["auto", "json", "columnar"], default="auto",
+        help="store backend to inspect (default: detect from the files present)",
+    )
+    inspect.add_argument(
+        "--verify", action="store_true",
+        help="checksum every columnar entry and report per-entry health",
+    )
     return parser
 
 
@@ -346,7 +372,7 @@ def _store_get_or_build(args: argparse.Namespace, model):
     """Shared serve-build/query path: fetch the synopsis through the store."""
     from .service import SynopsisStore
 
-    store = SynopsisStore(args.store)
+    store = SynopsisStore(args.store, format=args.store_format)
     spec = _serving_spec(args)
     synopsis = store.get_or_build(model, spec)
     return store, spec, synopsis
@@ -383,8 +409,13 @@ def _run_query(args: argparse.Namespace) -> str:
         )
 
     model = read_model(args.input)
-    _, spec, synopsis = _store_get_or_build(args, model)
+    store, spec, synopsis = _store_get_or_build(args, model)
     engine = BatchQueryEngine.from_model(synopsis, model, spec.metric, workload=spec.workload)
+
+    def with_stats(text: str) -> str:
+        if not args.stats:
+            return text
+        return text + "\n" + _render_store_stats(store)
 
     if args.replay:
         # The per-query reference loop is O(N) per wavelet point query, so it
@@ -399,7 +430,7 @@ def _run_query(args: argparse.Namespace) -> str:
             if compare_serial
             else ""
         )
-        return (
+        return with_stats(
             f"replayed {report['queries']} queries ({report['kind_counts']}) in "
             f"{report['batch_seconds']:.4f}s: {report['throughput_qps']:,.0f} "
             f"queries/s{speedup}; "
@@ -418,6 +449,77 @@ def _run_query(args: argparse.Namespace) -> str:
     for (kind, start, end), answer, error in zip(batch.as_tuples(), answers, errors):
         label = f"{kind}[{start}]" if kind == "point" else f"{kind}[{start}:{end}]"
         lines.append(f"{label:<24} {answer:>14.6g} {error:>16.6g}")
+    return with_stats("\n".join(lines))
+
+
+def _render_store_stats(store) -> str:
+    """One-paragraph summary of the store's counters and timings (--stats)."""
+    stats = store.stats
+    by_backend = ", ".join(
+        f"{name}={count}" for name, count in sorted(stats.disk_hits_by_backend.items())
+    )
+    return (
+        f"store stats [{store.format}]: {stats.lookups} lookups = "
+        f"{stats.builds} builds ({stats.build_seconds:.4f}s) + "
+        f"{stats.memory_hits} memory hits + {stats.disk_hits} disk hits "
+        f"({stats.disk_load_seconds:.4f}s{'; ' + by_backend if by_backend else ''}); "
+        f"{stats.puts} puts, {stats.evictions} evictions"
+    )
+
+
+def _store_inspect(args: argparse.Namespace) -> str:
+    """Render a store directory's header index (the ``store inspect`` command)."""
+    from pathlib import Path
+
+    from .io.binary_format import PACK_VERSION, SynopsisPack
+
+    directory = Path(args.store)
+    if not directory.is_dir():
+        raise ReproError(f"no store directory at {directory}")
+    chosen = args.format
+    if chosen == "auto":
+        chosen = "columnar" if SynopsisPack.present(directory) else "json"
+    if chosen == "columnar":
+        if not SynopsisPack.present(directory):
+            raise ReproError(f"no columnar pack store at {directory}")
+        pack = SynopsisPack(directory)
+        rows = pack.describe(verify=args.verify)
+        lines = [
+            f"columnar store at {directory} (format v{PACK_VERSION}): "
+            f"{len(pack)} entries, {pack.dead_records} superseded records, "
+            f"pack {pack.pack_path.stat().st_size:,} bytes, "
+            f"index {pack.index_path.stat().st_size:,} bytes"
+        ]
+        for row in rows:
+            health = ""
+            if args.verify:
+                health = " crc ok" if row.get("crc_ok") else " CRC MISMATCH"
+            lines.append(
+                f"{row['key'][:16]}…  kind={row['kind']}  "
+                f"@{row['offset']}  {row['nbytes']:,} bytes  {row['crc32']}{health}"
+            )
+            for segment in row["segments"]:
+                shape = "x".join(str(s) for s in segment["shape"])
+                lines.append(
+                    f"    {segment['name']:<28} {segment['dtype']:>5} "
+                    f"[{shape}]  @{segment['offset']}  {segment['nbytes']:,} bytes"
+                )
+            if "error" in row:
+                lines.append(f"    unreadable: {row['error']}")
+        return "\n".join(lines)
+    import json as json_module
+
+    entries = sorted(directory.glob("*.json"))
+    lines = [f"json store at {directory}: {len(entries)} entries"]
+    for path in entries:
+        try:
+            payload = json_module.loads(path.read_text())
+            kind = payload.get("synopsis", {}).get("synopsis", "?")
+        except (json_module.JSONDecodeError, UnicodeDecodeError, AttributeError):
+            kind = "unreadable"
+        lines.append(
+            f"{path.stem[:16]}…  kind={kind}  {path.stat().st_size:,} bytes"
+        )
     return "\n".join(lines)
 
 
@@ -477,6 +579,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_serve_build(args))
         elif args.command == "query":
             print(_run_query(args))
+        elif args.command == "store":
+            print(_store_inspect(args))
         else:  # pragma: no cover - argparse guards this
             parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:

@@ -66,37 +66,93 @@ class Histogram(Synopsis):
         bucket_list = list(buckets)
         if not bucket_list:
             raise SynopsisError("a histogram needs at least one bucket")
+        self._init_from_arrays(
+            np.array([b.start for b in bucket_list], dtype=np.int64),
+            np.array([b.end for b in bucket_list], dtype=np.int64),
+            np.array([b.representative for b in bucket_list], dtype=float),
+            domain_size,
+        )
+        self._buckets = tuple(bucket_list)
+
+    def _init_from_arrays(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        representatives: np.ndarray,
+        domain_size: int,
+    ) -> None:
+        """Shared constructor body over the cached lookup arrays.
+
+        Estimation is the hot read path, so item -> bucket resolution and
+        range sums must not rebuild per-bucket lists per query;
+        ``_prefix_mass[k]`` = total estimated mass of buckets < k.  The
+        validation is vectorised: the spans must tile ``[0, domain_size)``
+        exactly.  The arrays are adopted as-is (read-only mmap-backed views
+        included) — every internal use only reads them.
+        """
         if domain_size <= 0:
             raise SynopsisError("domain_size must be positive")
-        expected_start = 0
-        for bucket in bucket_list:
-            if bucket.start != expected_start:
-                raise SynopsisError(
-                    f"buckets do not partition the domain: expected a bucket starting at "
-                    f"{expected_start}, found {bucket.start}"
-                )
-            expected_start = bucket.end + 1
-        if expected_start != domain_size:
+        if not (starts.size == ends.size == representatives.size) or starts.size == 0:
             raise SynopsisError(
-                f"buckets cover [0, {expected_start}) but the domain is [0, {domain_size})"
+                "starts, ends and representatives must be equally sized and non-empty"
             )
-        self._buckets = tuple(bucket_list)
+        if int(starts[0]) != 0 or not np.array_equal(starts[1:], ends[:-1] + 1):
+            raise SynopsisError(
+                "buckets do not partition the domain: spans must start at 0 and "
+                "each bucket must start right after its predecessor ends"
+            )
+        if np.any(ends < starts):
+            bad = int(np.argmax(ends < starts))
+            raise SynopsisError(f"invalid bucket span [{starts[bad]}, {ends[bad]}]")
+        if int(ends[-1]) != domain_size - 1:
+            raise SynopsisError(
+                f"buckets cover [0, {int(ends[-1]) + 1}) but the domain is [0, {domain_size})"
+            )
+        self._buckets = None
         self._domain_size = int(domain_size)
-        # Cached lookup arrays: estimation is the hot read path, so item ->
-        # bucket resolution and range sums must not rebuild per-bucket lists
-        # per query.  _prefix_mass[k] = total estimated mass of buckets < k.
-        self._starts = np.array([b.start for b in bucket_list], dtype=np.int64)
-        self._ends = np.array([b.end for b in bucket_list], dtype=np.int64)
-        self._reps = np.array([b.representative for b in bucket_list], dtype=float)
+        self._starts = starts
+        self._ends = ends
+        self._reps = representatives
         widths = self._ends - self._starts + 1
         self._prefix_mass = np.concatenate([[0.0], np.cumsum(self._reps * widths)])
+
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        representatives: np.ndarray,
+        domain_size: int,
+    ) -> "Histogram":
+        """Build directly from parallel bucket arrays, without copying.
+
+        The columnar-storage fast path: ``starts``/``ends``/``representatives``
+        are adopted by reference when they already have the right dtypes —
+        read-only memory-mapped views included — so a histogram loaded from a
+        pack file materialises no per-bucket Python objects and no array
+        copies.  :class:`Bucket` objects are created lazily on first access
+        to :attr:`buckets`.
+        """
+        instance = object.__new__(cls)
+        instance._init_from_arrays(
+            np.asarray(starts, dtype=np.int64),
+            np.asarray(ends, dtype=np.int64),
+            np.asarray(representatives, dtype=float),
+            domain_size,
+        )
+        return instance
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def buckets(self) -> Tuple[Bucket, ...]:
-        """The buckets, in domain order."""
+        """The buckets, in domain order (materialised lazily)."""
+        if self._buckets is None:
+            self._buckets = tuple(
+                Bucket(int(start), int(end), float(rep))
+                for start, end, rep in zip(self._starts, self._ends, self._reps)
+            )
         return self._buckets
 
     @property
@@ -107,7 +163,7 @@ class Histogram(Synopsis):
     @property
     def bucket_count(self) -> int:
         """Number of buckets ``B`` (the space budget)."""
-        return len(self._buckets)
+        return int(self._starts.size)
 
     @property
     def size(self) -> int:
@@ -117,18 +173,28 @@ class Histogram(Synopsis):
     @property
     def boundaries(self) -> List[Tuple[int, int]]:
         """The ``(start, end)`` spans of all buckets."""
-        return [(b.start, b.end) for b in self._buckets]
+        return list(zip(self._starts.tolist(), self._ends.tolist()))
 
     @property
     def representatives(self) -> np.ndarray:
         """The bucket representative values, in bucket order (a copy)."""
         return self._reps.copy()
 
+    def column_arrays(self) -> Dict[str, np.ndarray]:
+        """The internal columnar state, **by reference** — treat as read-only.
+
+        ``{starts, ends, representatives}`` exactly as the columnar storage
+        format persists them; the inverse of :meth:`from_arrays`.  For a
+        synopsis loaded from a pack these are the mmap-backed views
+        themselves (mutating them raises).
+        """
+        return {"starts": self._starts, "ends": self._ends, "representatives": self._reps}
+
     def __len__(self) -> int:
         return self.bucket_count
 
     def __iter__(self):
-        return iter(self._buckets)
+        return iter(self.buckets)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Histogram):
@@ -150,7 +216,7 @@ class Histogram(Synopsis):
         if not 0 <= item < self._domain_size:
             raise SynopsisError(f"item {item} outside the domain [0, {self._domain_size})")
         idx = int(np.searchsorted(self._starts, item, side="right")) - 1
-        return self._buckets[idx]
+        return self.buckets[idx]
 
     def estimate(self, item: int) -> float:
         """Approximate frequency ``ĝ_i`` of a single item."""
@@ -247,8 +313,10 @@ class Histogram(Synopsis):
         return {
             "domain_size": self._domain_size,
             "buckets": [
-                {"start": b.start, "end": b.end, "representative": b.representative}
-                for b in self._buckets
+                {"start": start, "end": end, "representative": rep}
+                for start, end, rep in zip(
+                    self._starts.tolist(), self._ends.tolist(), self._reps.tolist()
+                )
             ],
         }
 

@@ -38,26 +38,71 @@ class WaveletSynopsis(Synopsis):
         The size ``n`` of the original ordered domain.
     """
 
-    __slots__ = ("_coefficients", "_domain_size", "_length", "_geometry")
+    __slots__ = ("_indices", "_values", "_domain_size", "_length", "_geometry")
 
     def __init__(self, coefficients: Mapping[int, float], domain_size: int):
+        coeffs: Dict[int, float] = {}
+        for index, value in coefficients.items():
+            coeffs[int(index)] = float(value)
+        ordered = sorted(coeffs)
+        self._init_from_arrays(
+            np.array(ordered, dtype=np.int64),
+            np.array([coeffs[index] for index in ordered], dtype=float),
+            domain_size,
+        )
+
+    def _init_from_arrays(
+        self, indices: np.ndarray, values: np.ndarray, domain_size: int
+    ) -> None:
+        """Shared constructor body over the sorted coefficient arrays.
+
+        The synopsis is stored columnar internally — parallel ``indices`` /
+        ``values`` arrays in increasing index order — which is both what the
+        batch estimation geometry wants and what the columnar storage format
+        persists.  The arrays are adopted as-is (read-only mmap-backed views
+        included); every internal use only reads them.
+        """
         if domain_size <= 0:
             raise SynopsisError("domain_size must be positive")
         length = 1
         while length < domain_size:
             length *= 2
-        coeffs: Dict[int, float] = {}
-        for index, value in coefficients.items():
-            index = int(index)
-            if not 0 <= index < length:
+        if indices.size != values.size:
+            raise SynopsisError("coefficient indices and values must be equally sized")
+        if indices.size:
+            if int(indices[0]) < 0 or int(indices[-1]) >= length:
+                bad = indices[0] if int(indices[0]) < 0 else indices[-1]
                 raise SynopsisError(
-                    f"coefficient index {index} outside the transform range [0, {length})"
+                    f"coefficient index {int(bad)} outside the transform range [0, {length})"
                 )
-            coeffs[index] = float(value)
-        self._coefficients = dict(sorted(coeffs.items()))
+            if np.any(indices[1:] <= indices[:-1]):
+                raise SynopsisError(
+                    "coefficient indices must be strictly increasing (sorted, no duplicates)"
+                )
+        self._indices = indices
+        self._values = values
         self._domain_size = int(domain_size)
         self._length = length
         self._geometry = None
+
+    @classmethod
+    def from_arrays(
+        cls, indices: np.ndarray, values: np.ndarray, domain_size: int
+    ) -> "WaveletSynopsis":
+        """Build directly from sorted parallel coefficient arrays, no copying.
+
+        The columnar-storage fast path: ``indices`` (strictly increasing) and
+        ``values`` are adopted by reference when they already have the right
+        dtypes — read-only memory-mapped views included — so a synopsis loaded
+        from a pack file materialises no Python dict.
+        """
+        instance = object.__new__(cls)
+        instance._init_from_arrays(
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(values, dtype=float),
+            domain_size,
+        )
+        return instance
 
     # ------------------------------------------------------------------
     # Introspection
@@ -65,12 +110,22 @@ class WaveletSynopsis(Synopsis):
     @property
     def coefficients(self) -> Dict[int, float]:
         """The retained ``{index: normalised value}`` coefficients."""
-        return dict(self._coefficients)
+        return dict(zip(self._indices.tolist(), self._values.tolist()))
 
     @property
     def indices(self) -> Tuple[int, ...]:
         """The retained coefficient indices, sorted increasingly."""
-        return tuple(self._coefficients)
+        return tuple(self._indices.tolist())
+
+    def column_arrays(self) -> Dict[str, np.ndarray]:
+        """The internal columnar state, **by reference** — treat as read-only.
+
+        ``{indices, values}`` exactly as the columnar storage format persists
+        them; the inverse of :meth:`from_arrays`.  For a synopsis loaded from
+        a pack these are the mmap-backed views themselves (mutating them
+        raises).
+        """
+        return {"indices": self._indices, "values": self._values}
 
     @property
     def domain_size(self) -> int:
@@ -85,7 +140,7 @@ class WaveletSynopsis(Synopsis):
     @property
     def term_count(self) -> int:
         """Number of retained coefficients ``B`` (the space budget)."""
-        return len(self._coefficients)
+        return int(self._indices.size)
 
     @property
     def size(self) -> int:
@@ -100,12 +155,9 @@ class WaveletSynopsis(Synopsis):
             return NotImplemented
         if self._domain_size != other._domain_size:
             return False
-        if set(self._coefficients) != set(other._coefficients):
+        if not np.array_equal(self._indices, other._indices):
             return False
-        return all(
-            abs(self._coefficients[k] - other._coefficients[k]) <= 1e-12
-            for k in self._coefficients
-        )
+        return bool(np.all(np.abs(self._values - other._values) <= 1e-12))
 
     def __repr__(self) -> str:
         return (
@@ -119,8 +171,7 @@ class WaveletSynopsis(Synopsis):
     def coefficient_vector(self) -> np.ndarray:
         """Dense length-``N`` vector of normalised coefficients (zeros elsewhere)."""
         dense = np.zeros(self._length, dtype=float)
-        for index, value in self._coefficients.items():
-            dense[index] = value
+        dense[self._indices] = self._values
         return dense
 
     def estimates(self) -> np.ndarray:
@@ -153,8 +204,8 @@ class WaveletSynopsis(Synopsis):
         if self._geometry is None:
             from ..wavelets.haar import coefficient_support, normalisation_factors
 
-            indices = np.fromiter(self._coefficients, dtype=np.int64, count=len(self._coefficients))
-            values = np.array(list(self._coefficients.values()), dtype=float)
+            indices = self._indices
+            values = self._values
             factors = normalisation_factors(self._length)
             scaled = values / factors[indices] if indices.size else values
             starts = np.empty(indices.size, dtype=np.int64)
@@ -221,7 +272,9 @@ class WaveletSynopsis(Synopsis):
         """JSON-friendly representation of the synopsis."""
         return {
             "domain_size": self._domain_size,
-            "coefficients": {str(k): v for k, v in self._coefficients.items()},
+            "coefficients": {
+                str(k): v for k, v in zip(self._indices.tolist(), self._values.tolist())
+            },
         }
 
     @classmethod

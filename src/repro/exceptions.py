@@ -39,6 +39,23 @@ class EvaluationError(ReproError, ValueError):
     """Raised when an expected-error evaluation request is invalid."""
 
 
+class StoreCorruptionError(ReproError, RuntimeError):
+    """Raised when a persisted synopsis store entry cannot be trusted.
+
+    Covers a truncated or overwritten columnar pack file, a bad magic string
+    or unsupported format version, an index or payload checksum mismatch,
+    and malformed JSON entries in the text backend.  The message always names
+    the offending path (also available as :attr:`path`), so operators see
+    "which file is damaged" instead of a cryptic numpy reshape or JSON
+    decode traceback.
+    """
+
+    def __init__(self, message: str, *, path=None):
+        super().__init__(message if path is None else f"{message} ({path})")
+        #: The damaged file, when known.
+        self.path = path
+
+
 class BudgetClampWarning(UserWarning):
     """Warned when a requested budget exceeds what the domain can use.
 

@@ -1,5 +1,19 @@
-"""Input/output: JSON and text interchange formats for models and synopses."""
+"""Input/output: JSON, text and binary columnar formats for models and synopses.
 
+The JSON interchange format round-trips every model and synopsis exactly and
+stays the default (and the debugging surface); :mod:`repro.io.binary_format`
+adds the versioned columnar pack format the serving store's ``columnar``
+backend uses for zero-copy memory-mapped loads.
+"""
+
+from .binary_format import (
+    PACK_VERSION,
+    ColumnarCodec,
+    SynopsisPack,
+    codec_for,
+    codec_kinds,
+    register_codec,
+)
 from .text_format import (
     model_from_dict,
     model_to_dict,
@@ -14,6 +28,12 @@ from .text_format import (
 )
 
 __all__ = [
+    "ColumnarCodec",
+    "SynopsisPack",
+    "PACK_VERSION",
+    "register_codec",
+    "codec_for",
+    "codec_kinds",
     "model_to_dict",
     "model_from_dict",
     "write_model",

@@ -45,7 +45,9 @@ class FrequencyDistributions:
         Whether to copy the probability matrix (default ``True``).
     """
 
-    __slots__ = ("_grid", "_probs")
+    # __weakref__ keeps instances weak-referenceable so the serving store's
+    # fingerprint memo can cache their digests (see repro.service.store).
+    __slots__ = ("_grid", "_probs", "__weakref__")
 
     def __init__(self, grid: ValueGrid, probabilities: np.ndarray, *, copy: bool = True):
         probs = np.array(probabilities, dtype=float, copy=copy)

@@ -84,6 +84,59 @@ class PartitionedSynopsis(Synopsis):
         self._starts = np.array([s for s, _ in span_list], dtype=np.int64)
         self._ends = np.array([e for _, e in span_list], dtype=np.int64)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        span_starts: np.ndarray,
+        span_ends: np.ndarray,
+        synopses: Iterable[Synopsis],
+    ) -> "PartitionedSynopsis":
+        """Build directly from parallel span arrays, without copying them.
+
+        The columnar-storage fast path: ``span_starts``/``span_ends`` are
+        adopted by reference when already ``int64`` — read-only memory-mapped
+        views included.  Validation is vectorised (spans must tile the domain)
+        plus one pass checking each shard covers its span's width.
+        """
+        starts = np.asarray(span_starts, dtype=np.int64)
+        ends = np.asarray(span_ends, dtype=np.int64)
+        shard_list = list(synopses)
+        if starts.size == 0:
+            raise SynopsisError("a partitioned synopsis needs at least one shard")
+        if starts.size != ends.size or starts.size != len(shard_list):
+            raise SynopsisError(
+                f"{starts.size} span starts, {ends.size} span ends but "
+                f"{len(shard_list)} shard synopses"
+            )
+        if (
+            int(starts[0]) != 0
+            or np.any(ends < starts)
+            or not np.array_equal(starts[1:], ends[:-1] + 1)
+        ):
+            raise SynopsisError(
+                "shard spans do not tile the domain: spans must start at 0 and "
+                "each must start right after its predecessor ends"
+            )
+        widths = ends - starts + 1
+        for width, shard in zip(widths.tolist(), shard_list):
+            if not isinstance(shard, Synopsis):
+                raise SynopsisError(
+                    f"shards must implement the Synopsis protocol, got "
+                    f"{type(shard).__name__}"
+                )
+            if shard.domain_size != width:
+                raise SynopsisError(
+                    f"shard spanning {width} items has a synopsis covering "
+                    f"{shard.domain_size}"
+                )
+        instance = object.__new__(cls)
+        instance._spans = tuple(zip(starts.tolist(), ends.tolist()))
+        instance._synopses = tuple(shard_list)
+        instance._domain_size = int(ends[-1]) + 1
+        instance._starts = starts
+        instance._ends = ends
+        return instance
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -111,6 +164,15 @@ class PartitionedSynopsis(Synopsis):
     def shards(self) -> Tuple[Synopsis, ...]:
         """The per-shard synopses, in domain order."""
         return self._synopses
+
+    def column_arrays(self) -> Dict[str, np.ndarray]:
+        """The span columns, **by reference** — treat as read-only.
+
+        ``{span_starts, span_ends}`` exactly as the columnar storage format
+        persists them (shard payloads are serialised by the shards' own
+        codecs); the inverse of :meth:`from_arrays`.
+        """
+        return {"span_starts": self._starts, "span_ends": self._ends}
 
     def shard_of(self, item: int) -> int:
         """Index of the shard owning ``item``."""

@@ -12,10 +12,13 @@ digest of
 * the spec's **canonical build configuration**
   (:meth:`SynopsisSpec.canonical`, the only source of store keys),
 
-and caches the result in memory and, optionally, on disk as JSON (via the
-:mod:`repro.io` interchange format).  Repeat builds — the common case for a
-serving tier that answers millions of queries against a handful of synopsis
-configurations — are cache hits that skip the dynamic program entirely.
+and caches the result in memory and, optionally, on disk — as JSON (via the
+:mod:`repro.io` interchange format, the default and the debugging surface)
+or in the binary columnar pack format (:mod:`repro.io.binary_format`), whose
+loads are zero-copy views into a memory-mapped pack file.  Repeat builds —
+the common case for a serving tier that answers millions of queries against
+a handful of synopsis configurations — are cache hits that skip the dynamic
+program entirely.
 
 Cache invalidation is automatic: any change to the data or the spec changes
 the key, and stale entries are simply never looked up again.  Knobs a build
@@ -30,10 +33,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -48,16 +53,65 @@ from ..core.spec import (
     workload_digest_of,
 )
 from ..core.synopsis import Synopsis
-from ..exceptions import SynopsisError
+from ..exceptions import StoreCorruptionError, SynopsisError
 from ..io import model_to_dict, synopsis_from_dict, synopsis_to_dict
+from ..io.binary_format import SynopsisPack
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
 
-__all__ = ["SynopsisStore", "StoreStats", "fingerprint_data"]
+__all__ = ["SynopsisStore", "StoreStats", "fingerprint_data", "STORE_FORMATS"]
+
+#: The on-disk backends ``SynopsisStore`` can persist through.
+STORE_FORMATS = ("json", "columnar")
 
 
 def _digest(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
+
+
+class _FingerprintCache:
+    """Weak-ref memo of ``fingerprint_data`` results, keyed by object identity.
+
+    ``get_or_build`` fingerprints its dataset on *every* call, and hashing a
+    large model is O(n) — pure overhead for the hot-loop case where the same
+    in-memory object is looked up thousands of times.  The cache holds one
+    entry per live object; a weakref callback evicts the entry when the
+    object is collected (guarding against id reuse by checking the stored
+    ref still points at the queried object).  Objects that don't support
+    weak references simply aren't cached.
+
+    Correctness assumption, same as the store's: datasets are not mutated in
+    place after being fingerprinted (models are value objects; mutating a
+    raw frequency vector under the store's feet was already undefined).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[weakref.ref, str]] = {}
+
+    def get(self, data) -> Optional[str]:
+        entry = self._entries.get(id(data))
+        if entry is not None and entry[0]() is data:
+            return entry[1]
+        return None
+
+    def put(self, data, digest: str) -> None:
+        key = id(data)
+
+        def evict(ref, *, key=key, entries=self._entries):
+            if key in entries and entries[key][0] is ref:
+                del entries[key]
+
+        try:
+            ref = weakref.ref(data, evict)
+        except TypeError:
+            return
+        self._entries[key] = (ref, digest)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_FINGERPRINTS = _FingerprintCache()
 
 
 def fingerprint_data(data) -> str:
@@ -67,37 +121,64 @@ def fingerprint_data(data) -> str:
     model and its round-tripped copy share a fingerprint.  Precomputed
     :class:`FrequencyDistributions` hash the value grid and probability
     matrix bytes; plain frequency vectors hash their float64 bytes.
+
+    Results are memoised per live object (weak-ref cache), so repeat lookups
+    against the same in-memory dataset skip the O(n) hash; callers that
+    manage their own fingerprints can bypass hashing entirely via the
+    ``fingerprint=`` pass-through on :meth:`SynopsisStore.get_or_build`.
     """
+    cached = _FINGERPRINTS.get(data)
+    if cached is not None:
+        return cached
     if isinstance(data, ProbabilisticModel):
         canonical = json.dumps(model_to_dict(data), sort_keys=True, separators=(",", ":"))
-        return _digest(canonical.encode())
-    if isinstance(data, FrequencyDistributions):
+        digest = _digest(canonical.encode())
+    elif isinstance(data, FrequencyDistributions):
         hasher = hashlib.sha256()
         hasher.update(np.ascontiguousarray(data.values, dtype=float).tobytes())
         hasher.update(np.ascontiguousarray(data.probabilities, dtype=float).tobytes())
-        return hasher.hexdigest()
-    array = np.asarray(data, dtype=float)
-    if array.ndim != 1:
-        raise SynopsisError(f"cannot fingerprint data of type {type(data).__name__}")
-    return _digest(np.ascontiguousarray(array).tobytes())
+        digest = hasher.hexdigest()
+    else:
+        array = np.asarray(data, dtype=float)
+        if array.ndim != 1:
+            raise SynopsisError(f"cannot fingerprint data of type {type(data).__name__}")
+        digest = _digest(np.ascontiguousarray(array).tobytes())
+    _FINGERPRINTS.put(data, digest)
+    return digest
 
 
 @dataclass
 class StoreStats:
-    """Counters describing how the store has been used."""
+    """Counters (and timers) describing how the store has been used.
+
+    Beyond the hit/miss counts, the store accumulates where wall-clock time
+    goes — ``build_seconds`` inside the DP builder on misses,
+    ``disk_load_seconds`` deserialising disk hits — and attributes disk hits
+    to the backend that served them (``disk_hits_by_backend``), so benchmarks
+    and the service layer can report "cache hit" cost per storage format
+    rather than a single undifferentiated number.
+    """
 
     builds: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
     puts: int = 0
     evictions: int = 0
+    build_seconds: float = 0.0
+    disk_load_seconds: float = 0.0
+    disk_hits_by_backend: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
         """Total ``get_or_build`` calls served."""
         return self.builds + self.memory_hits + self.disk_hits
 
-    def as_dict(self) -> Dict[str, int]:
+    def count_disk_hit(self, backend: str) -> None:
+        """Record one disk hit served by ``backend``."""
+        self.disk_hits += 1
+        self.disk_hits_by_backend[backend] = self.disk_hits_by_backend.get(backend, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "lookups": self.lookups,
             "builds": self.builds,
@@ -105,6 +186,9 @@ class StoreStats:
             "disk_hits": self.disk_hits,
             "puts": self.puts,
             "evictions": self.evictions,
+            "build_seconds": self.build_seconds,
+            "disk_load_seconds": self.disk_load_seconds,
+            "disk_hits_by_backend": dict(self.disk_hits_by_backend),
         }
 
 
@@ -115,6 +199,96 @@ class _Entry:
     config: Dict = field(default_factory=dict)
 
 
+class _JsonDiskBackend:
+    """On-disk layer storing one pretty-printed ``<key>.json`` per entry.
+
+    The default: human-greppable, diff-friendly, and the package's
+    interchange format — but every load pays a JSON parse and full array
+    re-materialisation.
+    """
+
+    name = "json"
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Tuple[Synopsis, Dict]]:
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            synopsis = synopsis_from_dict(payload["synopsis"])
+            config = payload.get("config", {})
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+                SynopsisError) as exc:
+            raise StoreCorruptionError(
+                f"malformed JSON store entry: {exc}", path=path
+            ) from exc
+        return synopsis, config
+
+    def store(self, key: str, synopsis: Synopsis, config: Dict) -> None:
+        payload = {
+            "key": key,
+            "config": config,
+            "synopsis": synopsis_to_dict(synopsis),
+        }
+        # Write-then-rename so concurrent readers (and crashed writers)
+        # never observe a truncated entry: the key either resolves to a
+        # complete JSON document or does not exist yet.
+        path = self._path_for(key)
+        scratch = path.with_suffix(f".tmp-{os.getpid()}")
+        scratch.write_text(json.dumps(payload, indent=2))
+        os.replace(scratch, path)
+
+    def contains(self, key: str) -> bool:
+        return self._path_for(key).exists()
+
+    def keys(self) -> set:
+        return {p.stem for p in self.directory.glob("*.json")}
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+
+
+class _ColumnarDiskBackend:
+    """On-disk layer over the binary columnar pack (:mod:`repro.io.binary_format`).
+
+    Loads return synopses whose arrays are read-only views into the shared
+    pack mmap — no parsing, no copies — so an LRU-evicted entry degrades to
+    an mmap hit instead of a rebuild, and resident memory stays sublinear in
+    the entry count.
+    """
+
+    name = "columnar"
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+        self.pack = SynopsisPack(directory)
+
+    def load(self, key: str) -> Optional[Tuple[Synopsis, Dict]]:
+        return self.pack.get(key)
+
+    def store(self, key: str, synopsis: Synopsis, config: Dict) -> None:
+        self.pack.put(key, synopsis, config)
+
+    def contains(self, key: str) -> bool:
+        return key in self.pack
+
+    def keys(self) -> set:
+        return set(self.pack.keys())
+
+    def clear(self) -> None:
+        # Truncating back to the bare headers *is* the compaction of an
+        # emptied store: appended payload bytes are reclaimed immediately.
+        self.pack.clear()
+
+
 class SynopsisStore:
     """In-memory + on-disk cache of built synopses, keyed by content.
 
@@ -122,9 +296,16 @@ class SynopsisStore:
     ----------
     directory:
         Optional directory for the on-disk layer.  When given, every build is
-        persisted as ``<key>.json`` and survives the process; a fresh store
-        over the same directory serves those entries as disk hits.  Without a
-        directory the store is memory-only.
+        persisted and survives the process; a fresh store over the same
+        directory serves those entries as disk hits.  Without a directory the
+        store is memory-only.
+    format:
+        On-disk serialisation: ``"json"`` (the default — one human-readable
+        ``<key>.json`` interchange document per entry) or ``"columnar"``
+        (one binary append-only pack per store with memory-mapped zero-copy
+        loads; see :mod:`repro.io.binary_format`).  Both round-trip every
+        synopsis bit-identically; opening a directory written in the other
+        format is rejected up front.
     max_memory_entries:
         Optional cap on the in-memory layer.  When set, the least recently
         *used* entry (hit, loaded from disk, or inserted) is evicted once the
@@ -138,8 +319,14 @@ class SynopsisStore:
         self,
         directory: Optional[Union[str, Path]] = None,
         *,
+        format: str = "json",
         max_memory_entries: Optional[int] = None,
     ):
+        if format not in STORE_FORMATS:
+            raise SynopsisError(
+                f"unknown store format {format!r}; expected one of: "
+                f"{', '.join(STORE_FORMATS)}"
+            )
         if max_memory_entries is not None and int(max_memory_entries) < 1:
             raise SynopsisError(
                 f"max_memory_entries must be at least 1, got {max_memory_entries}"
@@ -149,10 +336,35 @@ class SynopsisStore:
         self._max_memory_entries = (
             None if max_memory_entries is None else int(max_memory_entries)
         )
+        self._format = format
         self._directory = None if directory is None else Path(directory)
+        self._disk: Optional[Union[_JsonDiskBackend, _ColumnarDiskBackend]] = None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # Refuse to open a directory written in the other format: the
+            # lookups would all silently miss and every entry would rebuild.
+            pack_present = SynopsisPack.present(self._directory)
+            json_present = any(self._directory.glob("*.json"))
+            if format == "json" and pack_present and not json_present:
+                raise SynopsisError(
+                    f"{self._directory} holds a columnar pack store; open it "
+                    "with format='columnar'"
+                )
+            if format == "columnar" and json_present and not pack_present:
+                raise SynopsisError(
+                    f"{self._directory} holds a JSON store; open it with "
+                    "format='json'"
+                )
+            if format == "columnar":
+                self._disk = _ColumnarDiskBackend(self._directory)
+            else:
+                self._disk = _JsonDiskBackend(self._directory)
         self.stats = StoreStats()
+
+    @property
+    def format(self) -> str:
+        """The on-disk serialisation format (``json`` or ``columnar``)."""
+        return self._format
 
     def _remember(self, key: str, entry: _Entry) -> None:
         """Insert/refresh one memory entry, evicting beyond the LRU cap."""
@@ -220,23 +432,24 @@ class SynopsisStore:
     # ------------------------------------------------------------------
     # Cache access
     # ------------------------------------------------------------------
-    def _path_for(self, key: str) -> Optional[Path]:
-        if self._directory is None:
-            return None
-        return self._directory / f"{key}.json"
-
     def get(self, key: str) -> Optional[Synopsis]:
-        """The cached synopsis under ``key``, or ``None`` (no stats update)."""
+        """The cached synopsis under ``key``, or ``None`` (no hit counting).
+
+        Disk loads still accrue into ``stats.disk_load_seconds`` so timing
+        attribution survives callers that bypass ``get_or_build``.
+        """
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)  # a hit is a use, in LRU terms
             return entry.synopsis
-        path = self._path_for(key)
-        if path is not None and path.exists():
-            payload = json.loads(path.read_text())
-            synopsis = synopsis_from_dict(payload["synopsis"])
-            self._remember(key, _Entry(key, synopsis, payload.get("config", {})))
-            return synopsis
+        if self._disk is not None:
+            start = time.perf_counter()
+            loaded = self._disk.load(key)
+            if loaded is not None:
+                self.stats.disk_load_seconds += time.perf_counter() - start
+                synopsis, config = loaded
+                self._remember(key, _Entry(key, synopsis, config))
+                return synopsis
         return None
 
     def put(self, key: str, synopsis: Synopsis, config: Optional[Dict] = None) -> None:
@@ -244,30 +457,18 @@ class SynopsisStore:
         config = dict(config or {})
         self._remember(key, _Entry(key, synopsis, config))
         self.stats.puts += 1
-        path = self._path_for(key)
-        if path is not None:
-            payload = {
-                "key": key,
-                "config": config,
-                "synopsis": synopsis_to_dict(synopsis),
-            }
-            # Write-then-rename so concurrent readers (and crashed writers)
-            # never observe a truncated entry: the key either resolves to a
-            # complete JSON document or does not exist yet.
-            scratch = path.with_suffix(f".tmp-{os.getpid()}")
-            scratch.write_text(json.dumps(payload, indent=2))
-            os.replace(scratch, path)
+        if self._disk is not None:
+            self._disk.store(key, synopsis, config)
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
-        path = self._path_for(key)
-        return path is not None and path.exists()
+        return self._disk is not None and self._disk.contains(key)
 
     def __len__(self) -> int:
         keys = set(self._memory)
-        if self._directory is not None:
-            keys.update(p.stem for p in self._directory.glob("*.json"))
+        if self._disk is not None:
+            keys.update(self._disk.keys())
         return len(keys)
 
     def clear_memory(self) -> None:
@@ -278,14 +479,13 @@ class SynopsisStore:
         """Drop the on-disk layer (in-memory entries survive).
 
         The companion of :meth:`clear_memory` for operational cache resets:
-        removes every ``<key>.json`` entry of the store directory, so a
-        subsequent miss rebuilds and repersists.  A memory-only store is a
-        no-op.
+        removes every entry of the store directory, so a subsequent miss
+        rebuilds and repersists.  The columnar backend compacts its pack
+        file back to the bare header (appended payload bytes are reclaimed,
+        the store stays open-able); a memory-only store is a no-op.
         """
-        if self._directory is None:
-            return
-        for path in self._directory.glob("*.json"):
-            path.unlink(missing_ok=True)
+        if self._disk is not None:
+            self._disk.clear()
 
     # ------------------------------------------------------------------
     # The front door
@@ -297,12 +497,12 @@ class SynopsisStore:
             self._memory.move_to_end(key)
             return self._memory[key].synopsis
         cached = self.get(key)
-        if cached is not None:
-            self.stats.disk_hits += 1
+        if cached is not None and self._disk is not None:
+            self.stats.count_disk_hit(self._disk.name)
         return cached
 
     def get_or_build_spec(
-        self, data, spec: SynopsisSpec
+        self, data, spec: SynopsisSpec, *, fingerprint: Optional[str] = None
     ) -> Union[Synopsis, List[Synopsis]]:
         """The cached synopsis (or sweep of synopses) for a spec over ``data``.
 
@@ -310,8 +510,11 @@ class SynopsisStore:
         ``spec.store_key(fingerprint, budget)`` — so a sweep mixes hits and
         misses freely; if *any* budget misses, the whole sweep is built in
         one DP run and each result cached under its own per-budget key.
+        ``fingerprint`` lets callers that precomputed
+        :func:`fingerprint_data` skip hashing the dataset entirely.
         """
-        fingerprint = fingerprint_data(data)
+        if fingerprint is None:
+            fingerprint = fingerprint_data(data)
         keys = {budget: spec.store_key(fingerprint, budget) for budget in spec.budgets}
         found: Dict[int, Synopsis] = {}
         for budget, key in keys.items():
@@ -322,7 +525,9 @@ class SynopsisStore:
         if missing:
             # Build only the missing budgets (one DP run sized to their
             # maximum); cached budgets keep being served from the cache.
+            start = time.perf_counter()
             built = build(data, spec.with_budget(tuple(missing)))
+            self.stats.build_seconds += time.perf_counter() - start
             self.stats.builds += 1
             for budget, synopsis in zip(missing, built):
                 self.put(keys[budget], synopsis, spec.canonical(budget))
@@ -344,6 +549,7 @@ class SynopsisStore:
         epsilon: float = DEFAULT_EPSILON,
         sse_variant: str = DEFAULT_SSE_VARIANT,
         workload=None,
+        fingerprint: Optional[str] = None,
     ) -> Union[Synopsis, List[Synopsis]]:
         """The cached synopsis for this configuration, building it on a miss.
 
@@ -352,6 +558,8 @@ class SynopsisStore:
         :func:`repro.core.builders.build_synopsis` and simply assembles the
         spec.  Hits (memory or disk) skip the build entirely; misses build,
         persist and return.  ``stats`` records which path served each call.
+        ``fingerprint`` (a prior :func:`fingerprint_data` result for
+        ``data``) skips re-hashing the dataset; it composes with both forms.
         """
         if isinstance(budget, SynopsisSpec):
             if spec is not None:
@@ -398,4 +606,4 @@ class SynopsisStore:
                     f"the SynopsisSpec carries the full build configuration; "
                     f"drop the conflicting argument(s): {', '.join(overridden)}"
                 )
-        return self.get_or_build_spec(data, spec)
+        return self.get_or_build_spec(data, spec, fingerprint=fingerprint)

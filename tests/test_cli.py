@@ -145,8 +145,76 @@ class TestQuery:
         assert "START:END" in capsys.readouterr().err
 
 
+class TestColumnarStoreCli:
+    def test_serve_build_and_query_round_trip(self, model_path, tmp_path, capsys):
+        store = tmp_path / "pack"
+        base = ["--input", str(model_path), "--store", str(store),
+                "--budget", "6", "--metric", "sae", "--store-format", "columnar"]
+        assert main(["serve-build", *base]) == 0
+        assert "fresh build" in capsys.readouterr().out
+        assert (store / "synopses.pack").exists()
+        assert not list(store.glob("*.json"))
+
+        assert main(["query", *base, "--point", "3", "--range", "0:15"]) == 0
+        out = capsys.readouterr().out
+        assert "point[3]" in out and "range_sum[0:15]" in out
+
+    def test_query_stats_reports_backend_counters(self, model_path, tmp_path, capsys):
+        store = tmp_path / "pack"
+        base = ["query", "--input", str(model_path), "--store", str(store),
+                "--budget", "6", "--store-format", "columnar", "--point", "3"]
+        assert main(base + ["--stats"]) == 0
+        first = capsys.readouterr().out
+        assert "store stats [columnar]" in first and "1 builds" in first
+
+        assert main(base + ["--stats"]) == 0  # a fresh process: disk hit
+        second = capsys.readouterr().out
+        assert "1 disk hits" in second and "columnar=1" in second
+
+    def test_store_inspect_lists_the_header_index(self, model_path, tmp_path, capsys):
+        store = tmp_path / "pack"
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--budget", "6", "--store-format", "columnar"]) == 0
+        capsys.readouterr()
+        assert main(["store", "inspect", "--store", str(store), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "columnar store" in out and "1 entries" in out
+        assert "kind=histogram" in out and "crc ok" in out
+        for column in ("starts", "ends", "representatives"):
+            assert column in out
+
+    def test_store_inspect_json_fallback(self, model_path, tmp_path, capsys):
+        store = tmp_path / "json"
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--budget", "6"]) == 0
+        capsys.readouterr()
+        assert main(["store", "inspect", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "json store" in out and "kind=histogram" in out
+
+    def test_store_inspect_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "inspect", "--store", str(tmp_path / "absent")]) == 2
+        assert "no store directory" in capsys.readouterr().err
+
+    def test_format_mismatch_is_an_error(self, model_path, tmp_path, capsys):
+        store = tmp_path / "pack"
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--budget", "6", "--store-format", "columnar"]) == 0
+        capsys.readouterr()
+        assert main(["serve-build", "--input", str(model_path), "--store", str(store),
+                     "--budget", "6"]) == 2
+        assert "columnar" in capsys.readouterr().err
+
+
 class TestParser:
     def test_parser_lists_serving_subcommands(self):
         text = build_parser().format_help()
-        for command in ("serve-build", "query"):
+        for command in ("serve-build", "query", "store"):
             assert command in text
+
+    def test_store_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-build", "--input", "m", "--store", "s",
+                 "--budget", "4", "--store-format", "parquet"]
+            )
