@@ -48,9 +48,11 @@ from .exceptions import (
     EvaluationError,
     KernelFallbackWarning,
     ModelValidationError,
+    ProtocolError,
     ReproError,
     StoreCorruptionError,
     SynopsisError,
+    VersionMismatchError,
     WorkerClampWarning,
     WorldEnumerationError,
 )
@@ -104,6 +106,8 @@ __all__ = [
     "DomainError",
     "SynopsisError",
     "EvaluationError",
+    "ProtocolError",
+    "VersionMismatchError",
     "StoreCorruptionError",
     "WorldEnumerationError",
     "BudgetClampWarning",

@@ -34,7 +34,20 @@ Installed as ``repro-synopses``.  Sub-commands:
     Answer point / range-sum / range-avg queries against a served synopsis
     through the vectorised batch engine, with per-query expected-error
     attribution; ``--replay N`` generates a workload-driven query mix and
-    reports serving throughput instead.
+    reports serving throughput instead.  ``--json`` emits the exact wire
+    schema (:mod:`repro.service.protocol`) instead of the human table.
+
+``serve``
+    Run the asyncio serving daemon (:mod:`repro.service.server`): newline-
+    delimited JSON over TCP, request coalescing into micro-batches,
+    admission control and graceful draining shutdown.
+
+``loadgen``
+    Attack a running daemon with the seeded multi-worker load generator
+    (:mod:`repro.service.loadgen`): closed-loop concurrency sweep, optional
+    open-loop overload burst, optional bit-identity verification against a
+    locally built engine; ``--output`` writes the ``BENCH_service.json``
+    report.
 """
 
 from __future__ import annotations
@@ -65,6 +78,7 @@ from .experiments import (
 )
 from .histograms.kernels import AUTO_KERNEL, available_kernels
 from .io import read_model, read_synopsis, write_model, write_synopsis
+from .service.server import DEFAULT_PORT
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +101,67 @@ _SERVING_DEFAULTS = {
     "allocation": "exact",
     "workers": None,
 }
+
+
+def _serving_config_parser(*, required: bool) -> argparse.ArgumentParser:
+    """The shared serve-build/query/serve/loadgen build-configuration flags.
+
+    ``required=False`` (the ``loadgen`` surface) makes ``--input``/``--store``
+    optional: the load generator only needs a build configuration when it
+    verifies daemon answers against a locally built engine.
+    """
+    serving_config = argparse.ArgumentParser(add_help=False)
+    serving_config.add_argument("--input", required=required, default=None,
+                                help="model JSON file")
+    serving_config.add_argument("--store", required=required, default=None,
+                                help="synopsis store directory")
+    serving_config.add_argument(
+        "--store-format", choices=["json", "columnar"], default="json",
+        help="on-disk store backend: human-readable JSON entries (default) or "
+        "the binary columnar pack with zero-copy mmap loads",
+    )
+    serving_config.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="SynopsisSpec JSON file; replaces the individual build flags",
+    )
+    serving_config.add_argument("--budget", type=int, default=None,
+                                help="bucket / coefficient budget B")
+    serving_config.add_argument(
+        "--synopsis", choices=["histogram", "wavelet"],
+        default=_SERVING_DEFAULTS["synopsis"],
+    )
+    serving_config.add_argument("--metric", choices=_METRIC_CHOICES,
+                                default=_SERVING_DEFAULTS["metric"])
+    serving_config.add_argument("--sanity", type=float, default=_SERVING_DEFAULTS["sanity"],
+                                help="sanity constant c")
+    serving_config.add_argument("--method", choices=["optimal", "approximate"],
+                                default=_SERVING_DEFAULTS["method"])
+    serving_config.add_argument("--epsilon", type=float, default=_SERVING_DEFAULTS["epsilon"])
+    serving_config.add_argument("--kernel", choices=_KERNEL_CHOICES,
+                                default=_SERVING_DEFAULTS["kernel"])
+    serving_config.add_argument("--sse-variant", choices=["fixed", "paper"],
+                                default=_SERVING_DEFAULTS["sse_variant"])
+    serving_config.add_argument(
+        "--shards", type=int, default=_SERVING_DEFAULTS["shards"], metavar="K",
+        help="build a partitioned synopsis over K domain shards "
+        "(--synopsis then names the per-shard base kind)",
+    )
+    serving_config.add_argument(
+        "--partition-strategy", choices=["equal_width", "equal_mass"],
+        default=_SERVING_DEFAULTS["partition_strategy"],
+        help="how --shards splits the domain (explicit cuts go via --spec)",
+    )
+    serving_config.add_argument(
+        "--allocation", choices=["exact", "greedy"],
+        default=_SERVING_DEFAULTS["allocation"],
+        help="cross-shard budget allocation: optimal min-plus DP or the "
+        "greedy heuristic",
+    )
+    serving_config.add_argument(
+        "--workers", type=int, default=_SERVING_DEFAULTS["workers"], metavar="N",
+        help="process-pool size for the parallel shard builds (default: serial)",
+    )
+    return serving_config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,60 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="DP kernel for the histogram constructions",
     )
 
-    # serve-build / query -------------------------------------------------
-    # Both subcommands resolve a synopsis through the store under the same
-    # build configuration, shared via a parent parser so the two surfaces
-    # cannot drift apart.
-    serving_config = argparse.ArgumentParser(add_help=False)
-    serving_config.add_argument("--input", required=True, help="model JSON file")
-    serving_config.add_argument("--store", required=True, help="synopsis store directory")
-    serving_config.add_argument(
-        "--store-format", choices=["json", "columnar"], default="json",
-        help="on-disk store backend: human-readable JSON entries (default) or "
-        "the binary columnar pack with zero-copy mmap loads",
-    )
-    serving_config.add_argument(
-        "--spec", metavar="FILE", default=None,
-        help="SynopsisSpec JSON file; replaces the individual build flags",
-    )
-    serving_config.add_argument("--budget", type=int, default=None,
-                                help="bucket / coefficient budget B")
-    serving_config.add_argument(
-        "--synopsis", choices=["histogram", "wavelet"],
-        default=_SERVING_DEFAULTS["synopsis"],
-    )
-    serving_config.add_argument("--metric", choices=_METRIC_CHOICES,
-                                default=_SERVING_DEFAULTS["metric"])
-    serving_config.add_argument("--sanity", type=float, default=_SERVING_DEFAULTS["sanity"],
-                                help="sanity constant c")
-    serving_config.add_argument("--method", choices=["optimal", "approximate"],
-                                default=_SERVING_DEFAULTS["method"])
-    serving_config.add_argument("--epsilon", type=float, default=_SERVING_DEFAULTS["epsilon"])
-    serving_config.add_argument("--kernel", choices=_KERNEL_CHOICES,
-                                default=_SERVING_DEFAULTS["kernel"])
-    serving_config.add_argument("--sse-variant", choices=["fixed", "paper"],
-                                default=_SERVING_DEFAULTS["sse_variant"])
-    serving_config.add_argument(
-        "--shards", type=int, default=_SERVING_DEFAULTS["shards"], metavar="K",
-        help="build a partitioned synopsis over K domain shards "
-        "(--synopsis then names the per-shard base kind)",
-    )
-    serving_config.add_argument(
-        "--partition-strategy", choices=["equal_width", "equal_mass"],
-        default=_SERVING_DEFAULTS["partition_strategy"],
-        help="how --shards splits the domain (explicit cuts go via --spec)",
-    )
-    serving_config.add_argument(
-        "--allocation", choices=["exact", "greedy"],
-        default=_SERVING_DEFAULTS["allocation"],
-        help="cross-shard budget allocation: optimal min-plus DP or the "
-        "greedy heuristic",
-    )
-    serving_config.add_argument(
-        "--workers", type=int, default=_SERVING_DEFAULTS["workers"], metavar="N",
-        help="process-pool size for the parallel shard builds (default: serial)",
-    )
-
+    # serve-build / query / serve / loadgen -------------------------------
+    # Every serving-side subcommand resolves a synopsis through the store
+    # under the same build configuration, shared via a parent parser so the
+    # surfaces cannot drift apart.  ``loadgen`` only needs the configuration
+    # for its optional --verify pass, hence ``required=False`` there.
+    serving_config = _serving_config_parser(required=True)
     subparsers.add_parser(
         "serve-build", parents=[serving_config],
         help="build a synopsis through the serving-layer cache",
@@ -233,6 +260,76 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=7, help="seed for --replay")
     query.add_argument("--stats", action="store_true",
                        help="append the store's hit/build counters and timings")
+    query.add_argument("--json", action="store_true",
+                       help="emit wire-schema JSON lines instead of the human table")
+
+    # serve ---------------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve", parents=[serving_config],
+        help="run the asyncio serving daemon (newline-delimited JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default {DEFAULT_PORT}; 0 = any free port)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batching window in milliseconds")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission control: total pending-queue depth")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="admission control: per-client in-flight cap")
+    serve.add_argument("--max-batch", type=int, default=4096,
+                       help="flush a window early at this many coalesced queries")
+    serve.add_argument("--max-engines", type=int, default=8,
+                       help="hot engine-cache size (evicted targets degrade to the store)")
+    serve.add_argument("--build-on-miss", action="store_true",
+                       help="rebuild a missing synopsis synchronously instead of "
+                       "answering 'unavailable'")
+    serve.add_argument("--allow-remote-shutdown", action="store_true",
+                       help="honour the wire 'shutdown' op (tests, CI)")
+    serve.add_argument("--ready-file", metavar="FILE", default=None,
+                       help="write 'host:port' here once listening (for scripts "
+                       "starting the daemon on --port 0)")
+    serve.add_argument("--also-budget", type=int, action="append", default=[],
+                       metavar="B",
+                       help="serve an extra target 'b{B}' at this budget under the "
+                       "same configuration (repeatable)")
+
+    # loadgen -------------------------------------------------------------
+    loadgen = subparsers.add_parser(
+        "loadgen", parents=[_serving_config_parser(required=False)],
+        help="attack a running daemon with the seeded load generator",
+    )
+    loadgen.add_argument("--connect", metavar="HOST:PORT", default=None,
+                         help="daemon address (overrides --host/--port)")
+    loadgen.add_argument("--host", default="127.0.0.1", help="daemon host")
+    loadgen.add_argument("--port", type=int, default=DEFAULT_PORT, help="daemon port")
+    loadgen.add_argument("--target", default=None,
+                         help="served target to query (default: the daemon's default)")
+    loadgen.add_argument("--levels", type=int, nargs="+", default=[1, 8, 32],
+                         metavar="C", help="closed-loop concurrency levels to sweep")
+    loadgen.add_argument("--queries", type=int, default=2000, metavar="N",
+                         help="queries per concurrency level")
+    loadgen.add_argument("--burst", type=int, default=0, metavar="N",
+                         help="open-loop overload burst of N queries (0 = skip)")
+    loadgen.add_argument("--burst-concurrency", type=int, default=8)
+    loadgen.add_argument("--burst-rate", type=float, default=5000.0,
+                         help="per-worker open-loop send rate (queries/sec)")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="compare daemon answers bit-for-bit against a local "
+                         "engine (needs --input/--store and the build flags)")
+    loadgen.add_argument("--verify-queries", type=int, default=500)
+    loadgen.add_argument("--seed", type=int, default=7,
+                         help="run seed; (seed, worker stream) reproduces traffic "
+                         "bit-identically")
+    loadgen.add_argument("--mean-range-length", type=int, default=16)
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="ask the daemon to drain and exit afterwards "
+                         "(needs --allow-remote-shutdown on the daemon)")
+    loadgen.add_argument("--output", metavar="FILE", default=None,
+                         help="write the full report (BENCH_service.json shape) here")
+    loadgen.add_argument("--smoke", action="store_true",
+                         help="small CI preset: levels 1/4/8, 200 queries per level, "
+                         "a 300-query burst")
 
     # store ---------------------------------------------------------------
     store = subparsers.add_parser(
@@ -392,7 +489,17 @@ def _serve_build(args: argparse.Namespace) -> str:
 
 
 def _run_query(args: argparse.Namespace) -> str:
-    from .service import BatchQueryEngine, QueryBatch, generate_query_mix, replay
+    import json as json_module
+
+    from .exceptions import ProtocolError
+    from .service import (
+        PROTOCOL_VERSION,
+        BatchQueryEngine,
+        QueryBatch,
+        QueryRequest,
+        replay,
+        responses_for,
+    )
 
     def parse_range(text: str):
         try:
@@ -412,6 +519,15 @@ def _run_query(args: argparse.Namespace) -> str:
     store, spec, synopsis = _store_get_or_build(args, model)
     engine = BatchQueryEngine.from_model(synopsis, model, spec.metric, workload=spec.workload)
 
+    # The CLI's structured stats line is the wire 'stats' op's store payload,
+    # so scripted consumers read one schema whether they scrape the CLI or
+    # the daemon.
+    stats_payload = {
+        "op": "stats",
+        "version": PROTOCOL_VERSION,
+        "store": store.stats.as_dict(),
+    }
+
     def with_stats(text: str) -> str:
         if not args.stats:
             return text
@@ -422,9 +538,15 @@ def _run_query(args: argparse.Namespace) -> str:
         # is only timed (and cross-checked) on modest replays; the benchmark
         # and test-suite pin batch == serial equality exhaustively.
         compare_serial = args.replay <= 10_000
-        batch = generate_query_mix(model.domain_size, args.replay, seed=args.seed)
-        report = replay(engine, batch, compare_serial=compare_serial)
-        latency = report["chunk_latency_ms"]
+        report = replay(
+            engine, count=args.replay, seed=args.seed, compare_serial=compare_serial
+        )
+        if args.json:
+            lines = [json_module.dumps(report, sort_keys=True)]
+            if args.stats:
+                lines.append(json_module.dumps(stats_payload, sort_keys=True))
+            return "\n".join(lines)
+        latency = report["latency_ms"]
         speedup = (
             f" ({report['batch_speedup_vs_serial']:.1f}x over the per-query loop)"
             if compare_serial
@@ -432,23 +554,47 @@ def _run_query(args: argparse.Namespace) -> str:
         )
         return with_stats(
             f"replayed {report['queries']} queries ({report['kind_counts']}) in "
-            f"{report['batch_seconds']:.4f}s: {report['throughput_qps']:,.0f} "
+            f"{report['batch_seconds']:.4f}s: {report['qps']:,.0f} "
             f"queries/s{speedup}; "
             f"chunk latency p50 {latency['p50']:.3f}ms / p95 {latency['p95']:.3f}ms"
         )
 
-    queries = [("point", item) for item in args.point]
-    queries += [("range_sum", *parse_range(text)) for text in args.range]
-    queries += [("range_avg", *parse_range(text)) for text in args.avg]
-    if not queries:
+    # Explicit queries travel through the one wire schema: CLI flags become
+    # QueryRequests, the engine answers the coalesced batch, and responses_for
+    # attributes answers per query exactly as the daemon would.
+    try:
+        requests = [
+            QueryRequest.point(f"q{position}", item)
+            for position, item in enumerate(args.point)
+        ]
+        requests += [
+            QueryRequest.range_sum(f"q{len(requests) + position}", *parse_range(text))
+            for position, text in enumerate(args.range)
+        ]
+        requests += [
+            QueryRequest.range_avg(f"q{len(requests) + position}", *parse_range(text))
+            for position, text in enumerate(args.avg)
+        ]
+    except ProtocolError as exc:
+        raise ReproError(str(exc)) from None
+    if not requests:
         raise ReproError("no queries given; use --point / --range / --avg or --replay N")
-    batch = QueryBatch.from_tuples(queries)
+    batch = QueryBatch.from_requests(requests)
     answers = engine.answer(batch)
     errors = engine.attribute_errors(batch)
+    responses = responses_for(requests, answers, errors)
+    if args.json:
+        lines = [response.to_json() for response in responses]
+        if args.stats:
+            lines.append(json_module.dumps(stats_payload, sort_keys=True))
+        return "\n".join(lines)
     lines = [f"{'query':<24} {'answer':>14} {'expected error':>16}"]
-    for (kind, start, end), answer, error in zip(batch.as_tuples(), answers, errors):
+    for request, response in zip(requests, responses):
+        kind, start, end = request.kind, request.start, request.end
         label = f"{kind}[{start}]" if kind == "point" else f"{kind}[{start}:{end}]"
-        lines.append(f"{label:<24} {answer:>14.6g} {error:>16.6g}")
+        lines.append(
+            f"{label:<24} {response.answer:>14.6g} {response.expected_error:>16.6g}"
+        )
     return with_stats("\n".join(lines))
 
 
@@ -465,6 +611,165 @@ def _render_store_stats(store) -> str:
         f"({stats.disk_load_seconds:.4f}s{'; ' + by_backend if by_backend else ''}); "
         f"{stats.puts} puts, {stats.evictions} evictions"
     )
+
+
+def _serve(args: argparse.Namespace) -> str:
+    """Run the serving daemon until a signal or a remote shutdown stops it."""
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from .service import DaemonConfig, ServingDaemon, SynopsisStore
+
+    model = read_model(args.input)
+    store = SynopsisStore(args.store, format=args.store_format)
+    spec = _serving_spec(args)
+    # The primary spec serves as target "default"; --also-budget B adds a
+    # sibling target "b{B}" under the same build configuration, so one daemon
+    # can serve several accuracy/size points of the same dataset.
+    targets = {"default": spec}
+    for extra in args.also_budget:
+        targets[f"b{extra}"] = spec.with_budget(extra)
+    config = DaemonConfig(
+        window_ms=args.window_ms,
+        max_pending=args.max_pending,
+        max_inflight_per_client=args.max_inflight,
+        max_batch=args.max_batch,
+        max_engines=args.max_engines,
+        build_on_miss=args.build_on_miss,
+        allow_remote_shutdown=args.allow_remote_shutdown,
+    )
+    daemon = ServingDaemon(model, store, targets, config=config, default_target="default")
+
+    async def _run() -> None:
+        host, port = await daemon.start(args.host, args.port)
+        names = ", ".join(sorted(targets))
+        print(
+            f"serving {names} on {host}:{port} "
+            f"(window {config.window_ms}ms, pending cap {config.max_pending})",
+            flush=True,
+        )
+        if args.ready_file:
+            # Scripts starting the daemon on --port 0 poll this file for the
+            # actual bound address.
+            Path(args.ready_file).write_text(f"{host}:{port}")
+        loop = asyncio.get_running_loop()
+
+        def _request_stop() -> None:
+            asyncio.ensure_future(daemon.stop())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _request_stop)
+            except (ValueError, NotImplementedError, RuntimeError, OSError):
+                # Not on the main thread (tests) or an unsupported platform;
+                # KeyboardInterrupt still reaches the outer try.
+                pass
+        await daemon.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive fallback
+        pass
+    stats = daemon.stats
+    return (
+        f"daemon drained and stopped: {stats.queries_answered} queries answered "
+        f"in {stats.engine_batches} engine batches, {stats.overloaded} overloaded, "
+        f"{stats.unavailable} unavailable"
+    )
+
+
+def _run_loadgen(args: argparse.Namespace) -> str:
+    """Attack a running daemon; optionally write the BENCH_service report."""
+    import json as json_module
+    from pathlib import Path
+
+    from .service import BatchQueryEngine, run_loadgen_sync
+
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ReproError(f"--connect expects HOST:PORT, got {args.connect!r}") from None
+        host = host or "127.0.0.1"
+    else:
+        host, port = args.host, args.port
+
+    levels = list(args.levels)
+    queries = args.queries
+    burst = args.burst
+    verify_queries = args.verify_queries
+    if args.smoke:
+        levels = [1, 4, 8]
+        queries = min(queries, 200)
+        burst = burst or 300
+        verify_queries = min(verify_queries, 200)
+
+    verify_engine = None
+    if args.verify:
+        if not args.input or not args.store:
+            raise ReproError(
+                "--verify answers the stream locally too; give --input, --store "
+                "and the build flags the daemon was started with"
+            )
+        model = read_model(args.input)
+        _, spec, synopsis = _store_get_or_build(args, model)
+        verify_engine = BatchQueryEngine.from_model(
+            synopsis, model, spec.metric, workload=spec.workload
+        )
+
+    try:
+        report = run_loadgen_sync(
+            host,
+            port,
+            levels=levels,
+            queries_per_level=queries,
+            seed=args.seed,
+            mean_range_length=args.mean_range_length,
+            target=args.target,
+            burst=burst,
+            burst_concurrency=args.burst_concurrency,
+            burst_rate=args.burst_rate,
+            verify_engine=verify_engine,
+            verify_queries=verify_queries,
+            shutdown=args.shutdown,
+        )
+    except ConnectionRefusedError:
+        raise ReproError(f"no daemon is listening on {host}:{port}") from None
+
+    if args.output:
+        Path(args.output).write_text(
+            json_module.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+
+    lines = []
+    for level in report["levels"]:
+        latency = level["latency_ms"]
+        factor = level["coalescing_factor"]
+        coalescing = f"  coalescing {factor:.2f}x" if factor is not None else ""
+        lines.append(
+            f"c={level['concurrency']:<3} {level['qps']:>10,.0f} qps  "
+            f"p50 {latency['p50']:.3f}ms  p99 {latency['p99']:.3f}ms{coalescing}"
+        )
+    if "overload" in report:
+        over = report["overload"]
+        lines.append(
+            f"overload burst: {over['statuses']}, p99 {over['latency_ms']['p99']:.3f}ms, "
+            f"responsive after: {over['responsive_after']}"
+        )
+    if "verification" in report:
+        verification = report["verification"]
+        lines.append(
+            f"verification: bit_identical={verification['bit_identical']} over "
+            f"{verification['queries']} queries "
+            f"(max abs diff {verification['max_abs_diff']:.3g})"
+        )
+    if "shutdown" in report:
+        lines.append(f"daemon shutdown: {report['shutdown']}")
+    if args.output:
+        lines.append(f"wrote {args.output}")
+    return "\n".join(lines)
 
 
 def _store_inspect(args: argparse.Namespace) -> str:
@@ -579,6 +884,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_serve_build(args))
         elif args.command == "query":
             print(_run_query(args))
+        elif args.command == "serve":
+            print(_serve(args))
+        elif args.command == "loadgen":
+            print(_run_loadgen(args))
         elif args.command == "store":
             print(_store_inspect(args))
         else:  # pragma: no cover - argparse guards this

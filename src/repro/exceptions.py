@@ -39,6 +39,27 @@ class EvaluationError(ReproError, ValueError):
     """Raised when an expected-error evaluation request is invalid."""
 
 
+class ProtocolError(ReproError, ValueError):
+    """Raised when a serving-protocol request or response payload is malformed.
+
+    The wire schema (:mod:`repro.service.protocol`) is strict: every request
+    names its schema version, its query kind and a well-formed item range,
+    and every response carries a known status.  Violations — unparseable
+    JSON, missing or unknown fields, a range with ``end < start`` — raise
+    this type, which the daemon maps onto an ``error`` response instead of
+    dropping the connection.
+    """
+
+
+class VersionMismatchError(ProtocolError):
+    """Raised when a payload declares an unsupported protocol schema version.
+
+    The version field exists precisely so old clients fail loudly and
+    legibly: a mismatched request is answered with a typed error naming both
+    versions rather than being misinterpreted under the wrong schema.
+    """
+
+
 class StoreCorruptionError(ReproError, RuntimeError):
     """Raised when a persisted synopsis store entry cannot be trusted.
 

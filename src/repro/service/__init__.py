@@ -1,4 +1,4 @@
-"""Synopsis serving layer: cached store + vectorised batch query engine.
+"""Synopsis serving layer: cached store, batch engine, wire protocol, daemon.
 
 The construction side of this package (``repro.histograms``,
 ``repro.wavelets``, the :func:`~repro.core.builders.build` front door with
@@ -7,21 +7,39 @@ data into small synopses; this subpackage is the deployment side that stands
 those synopses up against query traffic:
 
 * :class:`SynopsisStore` — content-addressed build cache (in-memory + JSON
-  on disk, keyed by ``SynopsisSpec.canonical()``) so every (dataset, spec)
-  pair pays its dynamic program exactly once;
+  or columnar/mmap on disk, keyed by ``SynopsisSpec.canonical()``) so every
+  (dataset, spec) pair pays its dynamic program exactly once;
 * :class:`BatchQueryEngine` / :func:`answer_batch` — vectorised evaluation
   of mixed point / range-sum / range-avg :class:`QueryBatch` es, with
   per-query expected-error attribution from the per-item expected errors;
-* :func:`generate_query_mix` / :func:`replay` — workload-driven traffic
-  generation and throughput/latency measurement.
+* :class:`QueryRequest` / :class:`QueryResponse` — the versioned wire
+  schema (:mod:`repro.service.protocol`), the single serialisation point
+  shared by the engine path, the CLI and the daemon;
+* :class:`ServingDaemon` — the asyncio TCP daemon
+  (:mod:`repro.service.server`): micro-batching request coalescer,
+  admission control, graceful-degradation ladder, draining shutdown;
+* :func:`generate_query_mix` / :func:`replay` / :func:`run_loadgen` —
+  seeded workload generation and the closed/open-loop load harness
+  (:mod:`repro.service.loadgen`) behind ``BENCH_service.json``.
 
-See the "serving layer" section of DESIGN.md for keying, invalidation and
-complexity notes.
+See the "serving layer" and "serving daemon" sections of DESIGN.md for
+keying, coalescing, admission-control and complexity notes.
 """
 
 from .engine import BatchQueryEngine, answer_batch, answer_serial
+from .loadgen import LoadgenClient, requests_from_batch, run_loadgen, run_loadgen_sync
+from .protocol import (
+    PROTOCOL_VERSION,
+    RESPONSE_STATUSES,
+    QueryRequest,
+    QueryResponse,
+    error_response,
+    latency_summary,
+    responses_for,
+)
 from .queries import POINT, QUERY_KINDS, RANGE_AVG, RANGE_SUM, QueryBatch
-from .replay import generate_query_mix, replay
+from .replay import generate_query_mix, replay, stream_rng
+from .server import DEFAULT_PORT, DaemonConfig, ServingDaemon, ServingStats
 from .store import StoreStats, SynopsisStore, fingerprint_data
 
 __all__ = [
@@ -38,4 +56,20 @@ __all__ = [
     "answer_serial",
     "generate_query_mix",
     "replay",
+    "stream_rng",
+    "PROTOCOL_VERSION",
+    "RESPONSE_STATUSES",
+    "QueryRequest",
+    "QueryResponse",
+    "responses_for",
+    "error_response",
+    "latency_summary",
+    "DaemonConfig",
+    "ServingDaemon",
+    "ServingStats",
+    "DEFAULT_PORT",
+    "LoadgenClient",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "requests_from_batch",
 ]

@@ -15,11 +15,14 @@ operations instead of one Python dispatch per query.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .protocol import QueryRequest
 
 __all__ = ["QueryBatch", "POINT", "RANGE_SUM", "RANGE_AVG", "QUERY_KINDS"]
 
@@ -167,6 +170,22 @@ class QueryBatch:
             np.asarray(kinds, dtype=np.int8),
             np.asarray(starts, dtype=np.int64),
             np.asarray(ends, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_requests(cls, requests: Sequence["QueryRequest"]) -> "QueryBatch":
+        """Build a batch from wire :class:`~repro.service.protocol.QueryRequest` s.
+
+        The batch preserves request order, which is what lets
+        :func:`~repro.service.protocol.responses_for` attribute the engine's
+        positional answers back to the originating requests (the daemon's
+        coalescer relies on exactly this round trip).  Requests are already
+        validated at construction, so no re-validation happens here.
+        """
+        return cls(
+            np.asarray([_KIND_CODES[request.kind] for request in requests], dtype=np.int8),
+            np.asarray([request.start for request in requests], dtype=np.int64),
+            np.asarray([request.end for request in requests], dtype=np.int64),
         )
 
     @classmethod

@@ -1,0 +1,652 @@
+"""Asyncio serving daemon: micro-batching, admission control, degradation.
+
+:class:`ServingDaemon` stands the library's serving layer up as a process:
+newline-delimited JSON over TCP (stdlib only — no web framework), one
+:class:`~repro.service.protocol.QueryRequest` per line in, one
+:class:`~repro.service.protocol.QueryResponse` per line out.  Three
+mechanisms make it a serving tier rather than a socket wrapper:
+
+* **Request coalescing.**  Concurrent queries against the same target are
+  collected into one :class:`~repro.service.queries.QueryBatch` per
+  micro-batching window (``window_ms``, default 2 ms; the window arms when
+  the first query of a batch arrives).  The vectorised
+  :class:`~repro.service.engine.BatchQueryEngine` then amortises one dense
+  NumPy evaluation across every waiting client, so the engine-call count
+  grows with *windows*, not with *queries* — the effect the load generator
+  measures as the coalescing factor.
+
+* **Admission control.**  The pending-queue depth is bounded
+  (``max_pending`` across all targets) and every connection has an in-flight
+  cap (``max_inflight_per_client``).  Beyond either limit the daemon answers
+  ``overloaded`` immediately instead of queueing without bound: latency for
+  admitted queries stays flat and the rejection is explicit, retryable
+  signal rather than a hang.
+
+* **Degradation ladder.**  A query is served from the freshest state that
+  exists: a cached engine (hot), else the synopsis re-resolved through the
+  :class:`~repro.service.store.SynopsisStore` — whose own LRU may have
+  degraded the entry to a disk/mmap hit — else, when even the store misses
+  (and ``build_on_miss`` is off, the default: a loaded daemon must not
+  block its event loop on a dynamic program), an explicit ``unavailable``
+  rejection.  Nothing on the query path ever waits on a rebuild it did not
+  ask for.
+
+Shutdown is graceful: :meth:`ServingDaemon.stop` stops accepting, flushes
+every armed window immediately, waits for in-flight responses to drain and
+only then closes connections.
+
+Flushes run synchronously on the event loop — the whole point of
+micro-batching is that the engine call is one short dense evaluation, and a
+synchronous flush makes batch composition deterministic under test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.spec import SynopsisSpec
+from ..exceptions import ProtocolError, SynopsisError, VersionMismatchError
+from .engine import BatchQueryEngine
+from .protocol import (
+    OP_INFO,
+    OP_PING,
+    OP_QUERY,
+    OP_SHUTDOWN,
+    OP_STATS,
+    PROTOCOL_VERSION,
+    STATUS_OVERLOADED,
+    STATUS_UNAVAILABLE,
+    QueryRequest,
+    QueryResponse,
+    error_response,
+    parse_request_line,
+    request_id_of,
+    responses_for,
+)
+from .queries import QueryBatch
+from .store import SynopsisStore, fingerprint_data
+
+__all__ = ["DaemonConfig", "ServingDaemon", "ServingStats", "DEFAULT_PORT"]
+
+#: Default TCP port for ``repro-synopses serve`` (any free port via 0).
+DEFAULT_PORT = 7209
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Tunables for :class:`ServingDaemon`, validated at construction.
+
+    ``window_ms`` trades per-query latency for coalescing opportunity;
+    ``max_pending`` / ``max_inflight_per_client`` are the admission-control
+    limits; ``max_batch`` flushes a window early once enough queries have
+    coalesced; ``max_engines`` bounds the hot engine cache (evicted targets
+    degrade to a store re-resolution); ``build_on_miss`` decides the bottom
+    rung of the degradation ladder (rebuild synchronously vs. reject with
+    ``unavailable``); ``attribute_errors`` controls whether responses carry
+    per-query expected-error mass (costs one exact per-item evaluation per
+    target at warm-up).
+    """
+
+    window_ms: float = 2.0
+    max_pending: int = 1024
+    max_inflight_per_client: int = 64
+    max_batch: int = 4096
+    max_engines: int = 8
+    build_on_miss: bool = False
+    attribute_errors: bool = True
+    allow_remote_shutdown: bool = False
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise SynopsisError("the micro-batching window must be positive")
+        for name in ("max_pending", "max_inflight_per_client", "max_batch", "max_engines"):
+            if int(getattr(self, name)) <= 0:
+                raise SynopsisError(f"{name} must be positive")
+        if self.drain_timeout <= 0:
+            raise SynopsisError("drain_timeout must be positive")
+
+
+@dataclass
+class ServingStats:
+    """Counters describing what the daemon has served (the ``stats`` op).
+
+    ``engine_batches`` vs. ``queries_answered`` is the coalescing story:
+    their ratio is the average batch the engine amortised one evaluation
+    over.  ``overloaded`` / ``unavailable`` count explicit rejections
+    (admission control and the degradation-ladder bottom respectively), and
+    the ``engine_*`` counters break down which rung of the ladder resolved
+    each engine lookup.
+    """
+
+    connections: int = 0
+    requests: int = 0
+    queries_answered: int = 0
+    engine_batches: int = 0
+    coalesced_queries: int = 0
+    largest_batch: int = 0
+    overloaded: int = 0
+    unavailable: int = 0
+    protocol_errors: int = 0
+    version_rejections: int = 0
+    invalid_queries: int = 0
+    internal_errors: int = 0
+    engine_cache_hits: int = 0
+    engine_store_resolutions: int = 0
+    engine_builds: int = 0
+    engine_evictions: int = 0
+    drained_queries: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "connections": self.connections,
+            "requests": self.requests,
+            "queries_answered": self.queries_answered,
+            "engine_batches": self.engine_batches,
+            "coalesced_queries": self.coalesced_queries,
+            "largest_batch": self.largest_batch,
+            "overloaded": self.overloaded,
+            "unavailable": self.unavailable,
+            "protocol_errors": self.protocol_errors,
+            "version_rejections": self.version_rejections,
+            "invalid_queries": self.invalid_queries,
+            "internal_errors": self.internal_errors,
+            "engine_cache_hits": self.engine_cache_hits,
+            "engine_store_resolutions": self.engine_store_resolutions,
+            "engine_builds": self.engine_builds,
+            "engine_evictions": self.engine_evictions,
+            "drained_queries": self.drained_queries,
+        }
+        payload["coalescing_factor"] = (
+            self.queries_answered / self.engine_batches if self.engine_batches else None
+        )
+        return payload
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state: serialised writes and the in-flight cap."""
+
+    writer: asyncio.StreamWriter
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    inflight: int = 0
+
+
+class ServingDaemon:
+    """The asyncio synopsis-serving daemon (see the module docstring).
+
+    Parameters
+    ----------
+    data:
+        The probabilistic model (or frequency vector) the synopses
+        summarise; needed to warm targets through the store and to compute
+        per-item expected errors for attribution.
+    store:
+        The :class:`~repro.service.store.SynopsisStore` fronting the builds
+        (its LRU/disk behaviour *is* the middle of the degradation ladder).
+    targets:
+        ``name -> SynopsisSpec`` for every synopsis this daemon serves.
+        Each spec must name a single budget (no sweeps).
+    """
+
+    def __init__(
+        self,
+        data: Any,
+        store: SynopsisStore,
+        targets: Mapping[str, SynopsisSpec],
+        *,
+        config: Optional[DaemonConfig] = None,
+        default_target: Optional[str] = None,
+    ):
+        if not targets:
+            raise SynopsisError("the daemon needs at least one target spec to serve")
+        for name, spec in targets.items():
+            if spec.is_sweep:
+                raise SynopsisError(
+                    f"target {name!r} declares a budget sweep; serve one budget per target"
+                )
+        self._data = data
+        self._store = store
+        self._targets: Dict[str, SynopsisSpec] = dict(targets)
+        self._default_target = default_target or next(iter(self._targets))
+        if self._default_target not in self._targets:
+            raise SynopsisError(f"default target {self._default_target!r} is not a target")
+        self._config = config or DaemonConfig()
+        self._fingerprint = fingerprint_data(data)
+        self.stats = ServingStats()
+        self._engines: "OrderedDict[str, BatchQueryEngine]" = OrderedDict()
+        self._errors: Dict[str, np.ndarray] = {}
+        self._domain_sizes: Dict[str, int] = {}
+        self._pending: Dict[str, List[Tuple[QueryRequest, "asyncio.Future[QueryResponse]"]]] = {}
+        self._pending_total = 0
+        self._flush_handles: Dict[str, asyncio.TimerHandle] = {}
+        self._tasks: Set["asyncio.Task[None]"] = set()
+        self._handler_tasks: Set["asyncio.Task[None]"] = set()
+        self._connections: Set[_Connection] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._warmed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> DaemonConfig:
+        """The daemon's (frozen) tunables."""
+        return self._config
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; raises until :meth:`start` ran."""
+        if self._address is None:
+            raise SynopsisError("the daemon is not listening; call start() first")
+        return self._address
+
+    @property
+    def targets(self) -> Dict[str, SynopsisSpec]:
+        """The served ``name -> spec`` map (a copy)."""
+        return dict(self._targets)
+
+    def info(self) -> Dict[str, Any]:
+        """The ``info`` op payload: targets, limits and schema version."""
+        return {
+            "op": OP_INFO,
+            "version": PROTOCOL_VERSION,
+            "default_target": self._default_target,
+            "window_ms": self._config.window_ms,
+            "max_pending": self._config.max_pending,
+            "max_inflight_per_client": self._config.max_inflight_per_client,
+            "targets": {
+                name: {
+                    "kind": spec.kind,
+                    "budget": spec.budgets[0],
+                    "metric": spec.metric.describe(),
+                    "domain_size": self._domain_sizes.get(name),
+                }
+                for name, spec in self._targets.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Warm-up and the engine degradation ladder
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Build (or fetch) every target through the store, once, up front.
+
+        Also computes each target's per-item expected errors when error
+        attribution is on; the vectors are kept independently of the engine
+        cache so an engine rebuilt after LRU eviction keeps its attribution
+        without re-running the exact evaluation.
+        """
+        if self._warmed:
+            return
+        for name, spec in self._targets.items():
+            synopsis = self._store.get_or_build(
+                self._data, spec, fingerprint=self._fingerprint
+            )
+            self._domain_sizes[name] = synopsis.domain_size
+            if self._config.attribute_errors:
+                from ..evaluation.errors import per_item_expected_errors
+
+                self._errors[name] = per_item_expected_errors(
+                    self._data, synopsis, spec.metric, workload=spec.workload
+                )
+            self._cache_engine(
+                name,
+                BatchQueryEngine(
+                    synopsis, per_item_errors=self._errors.get(name), metric=spec.metric
+                ),
+            )
+        self._warmed = True
+
+    def _cache_engine(self, name: str, engine: BatchQueryEngine) -> None:
+        self._engines[name] = engine
+        self._engines.move_to_end(name)
+        while len(self._engines) > self._config.max_engines:
+            self._engines.popitem(last=False)
+            self.stats.engine_evictions += 1
+
+    def _resolve_engine(self, name: str) -> Optional[BatchQueryEngine]:
+        """One engine for ``name`` via the degradation ladder, or ``None``.
+
+        Hot cache -> store re-resolution (the store's own memory LRU may
+        degrade this to a disk/mmap hit) -> optional synchronous rebuild ->
+        ``None`` (the caller answers ``unavailable``).
+        """
+        engine = self._engines.get(name)
+        if engine is not None:
+            self._engines.move_to_end(name)
+            self.stats.engine_cache_hits += 1
+            return engine
+        spec = self._targets[name]
+        synopsis = self._store.get(spec.store_key(self._fingerprint))
+        if synopsis is not None:
+            self.stats.engine_store_resolutions += 1
+        elif self._config.build_on_miss:
+            synopsis = self._store.get_or_build(
+                self._data, spec, fingerprint=self._fingerprint
+            )
+            self.stats.engine_builds += 1
+        else:
+            return None
+        engine = BatchQueryEngine(
+            synopsis, per_item_errors=self._errors.get(name), metric=spec.metric
+        )
+        self._cache_engine(name, engine)
+        return engine
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Warm the targets and start listening; returns the bound address.
+
+        ``port=0`` binds an ephemeral port (tests, CI) — read the actual one
+        from the return value or :attr:`address`.
+        """
+        if self._server is not None:
+            raise SynopsisError("the daemon is already listening")
+        self.warm()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle_client, host, port)
+        sockets = self._server.sockets or []
+        if not sockets:  # pragma: no cover - start_server always binds or raises
+            raise SynopsisError("the daemon failed to bind a socket")
+        bound = sockets[0].getsockname()
+        self._address = (str(bound[0]), int(bound[1]))
+        return self._address
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` has fully drained and shut down."""
+        if self._stopped is None:
+            raise SynopsisError("the daemon is not listening; call start() first")
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, flush windows, drain, close.
+
+        Every query already admitted is answered — armed micro-batching
+        windows are flushed immediately rather than waiting out their
+        timers, and the daemon waits (bounded by ``drain_timeout``) for the
+        responses to reach their clients before closing connections.
+        """
+        if self._draining:
+            if self._stopped is not None:
+                await self._stopped.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for name, handle in list(self._flush_handles.items()):
+            handle.cancel()
+            self._flush_handles.pop(name, None)
+        drained = self._pending_total
+        for name in list(self._pending):
+            self._flush(name)
+        self.stats.drained_queries += drained
+        # A remote shutdown runs stop() as one of the tracked tasks, and the
+        # triggering connection's handler is blocked on *this* coroutine:
+        # exclude both or the drain would wait on itself.
+        current = asyncio.current_task()
+        pending_tasks = [task for task in self._tasks if task is not current]
+        if pending_tasks:
+            await asyncio.wait(pending_tasks, timeout=self._config.drain_timeout)
+        for connection in list(self._connections):
+            connection.writer.close()
+        # Closing the transports EOFs the readers; wait for the connection
+        # handlers to notice and exit so loop teardown finds no stray tasks.
+        handler_tasks = [task for task in self._handler_tasks if task is not current]
+        if handler_tasks:
+            await asyncio.wait(handler_tasks, timeout=self._config.drain_timeout)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _track(self, task: "asyncio.Task[None]") -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        connection = _Connection(writer=writer)
+        self._connections.add(connection)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                self.stats.requests += 1
+                await self._dispatch(line, connection)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _send(self, connection: _Connection, payload: Mapping[str, Any]) -> None:
+        data = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+        try:
+            async with connection.lock:
+                connection.writer.write(data)
+                await connection.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            # The client went away mid-response; the query was still served.
+            pass
+
+    async def _dispatch(self, line: bytes, connection: _Connection) -> None:
+        try:
+            payload = parse_request_line(line)
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            await self._send(connection, error_response(request_id_of(line), str(exc)).to_dict())
+            return
+        op = payload.get("op", OP_QUERY)
+        if op == OP_QUERY:
+            await self._dispatch_query(payload, connection)
+        elif op == OP_PING:
+            await self._send(connection, {"op": "pong", "version": PROTOCOL_VERSION})
+        elif op == OP_INFO:
+            await self._send(connection, self.info())
+        elif op == OP_STATS:
+            await self._send(
+                connection,
+                {
+                    "op": OP_STATS,
+                    "version": PROTOCOL_VERSION,
+                    "stats": self.stats.as_dict(),
+                    "store": self._store.stats.as_dict(),
+                },
+            )
+        elif op == OP_SHUTDOWN:
+            if not self._config.allow_remote_shutdown:
+                self.stats.protocol_errors += 1
+                await self._send(
+                    connection,
+                    error_response(
+                        payload.get("id"), "remote shutdown is disabled on this daemon"
+                    ).to_dict(),
+                )
+                return
+            await self._send(
+                connection,
+                {"op": OP_SHUTDOWN, "version": PROTOCOL_VERSION, "status": "draining"},
+            )
+            self._track(asyncio.ensure_future(self.stop()))
+        else:
+            self.stats.protocol_errors += 1
+            await self._send(
+                connection,
+                error_response(payload.get("id"), f"unknown op {op!r}").to_dict(),
+            )
+
+    async def _dispatch_query(self, payload: Dict[str, Any], connection: _Connection) -> None:
+        request_id = payload.get("id")
+        try:
+            request = QueryRequest.from_dict(
+                {key: value for key, value in payload.items() if key != "op"}
+            )
+        except ProtocolError as exc:
+            if isinstance(exc, VersionMismatchError):
+                self.stats.version_rejections += 1
+            else:
+                self.stats.protocol_errors += 1
+            await self._send(connection, error_response(
+                request_id if isinstance(request_id, (int, str))
+                and not isinstance(request_id, bool) else None,
+                str(exc),
+            ).to_dict())
+            return
+
+        target = request.target or self._default_target
+        if target not in self._targets:
+            self.stats.invalid_queries += 1
+            await self._send(connection, error_response(
+                request.id, f"unknown target {target!r}"
+            ).to_dict())
+            return
+        domain_size = self._domain_sizes.get(target)
+        if domain_size is not None and request.end >= domain_size:
+            # Validated per query at admission so one bad range can never
+            # poison the coalesced batch it would have joined.
+            self.stats.invalid_queries += 1
+            await self._send(connection, error_response(
+                request.id,
+                f"query touches item {request.end} but target {target!r} covers "
+                f"[0, {domain_size})",
+            ).to_dict())
+            return
+
+        # Admission control: explicit overloaded responses, never unbounded
+        # queues.  Checked before enqueueing so rejections are immediate.
+        if self._draining:
+            self.stats.overloaded += 1
+            await self._send(connection, error_response(
+                request.id, "daemon is draining for shutdown", status=STATUS_OVERLOADED
+            ).to_dict())
+            return
+        if connection.inflight >= self._config.max_inflight_per_client:
+            self.stats.overloaded += 1
+            await self._send(connection, error_response(
+                request.id,
+                f"client in-flight cap reached ({self._config.max_inflight_per_client})",
+                status=STATUS_OVERLOADED,
+            ).to_dict())
+            return
+        if self._pending_total >= self._config.max_pending:
+            self.stats.overloaded += 1
+            await self._send(connection, error_response(
+                request.id,
+                f"server pending queue is full ({self._config.max_pending})",
+                status=STATUS_OVERLOADED,
+            ).to_dict())
+            return
+
+        future: "asyncio.Future[QueryResponse]" = asyncio.get_running_loop().create_future()
+        self._enqueue(target, request, future)
+        connection.inflight += 1
+        self._track(asyncio.ensure_future(self._respond(connection, future)))
+
+    async def _respond(self, connection: _Connection,
+                       future: "asyncio.Future[QueryResponse]") -> None:
+        try:
+            response = await future
+        finally:
+            connection.inflight -= 1
+        await self._send(connection, response.to_dict())
+
+    # ------------------------------------------------------------------
+    # The coalescer
+    # ------------------------------------------------------------------
+    def _enqueue(self, target: str, request: QueryRequest,
+                 future: "asyncio.Future[QueryResponse]") -> None:
+        bucket = self._pending.setdefault(target, [])
+        bucket.append((request, future))
+        self._pending_total += 1
+        if len(bucket) >= self._config.max_batch:
+            handle = self._flush_handles.pop(target, None)
+            if handle is not None:
+                handle.cancel()
+            self._flush(target)
+        elif target not in self._flush_handles:
+            # First query of a window arms the micro-batching timer; every
+            # query arriving before it fires rides the same engine call.
+            loop = asyncio.get_running_loop()
+            self._flush_handles[target] = loop.call_later(
+                self._config.window_ms / 1000.0, self._flush_window, target
+            )
+
+    def _flush_window(self, target: str) -> None:
+        self._flush_handles.pop(target, None)
+        self._flush(target)
+
+    def _flush(self, target: str) -> None:
+        """Answer everything pending for ``target`` with one engine call.
+
+        Synchronous by design: the engine call is one dense vectorised
+        evaluation, and resolving futures atomically keeps batch accounting
+        exact.  Any failure is converted into per-query error responses —
+        the daemon never crashes a connection over one bad batch.
+        """
+        pending = self._pending.pop(target, [])
+        if not pending:
+            return
+        self._pending_total -= len(pending)
+        requests = [request for request, _ in pending]
+        try:
+            engine = self._resolve_engine(target)
+            if engine is None:
+                self.stats.unavailable += len(pending)
+                responses = [
+                    error_response(
+                        request.id,
+                        f"target {target!r} is not materialised and build_on_miss "
+                        "is disabled",
+                        status=STATUS_UNAVAILABLE,
+                    )
+                    for request in requests
+                ]
+            else:
+                batch = QueryBatch.from_requests(requests)
+                answers = engine.answer(batch)
+                errors = (
+                    engine.attribute_errors(batch) if engine.has_error_attribution else None
+                )
+                responses = responses_for(requests, answers, errors)
+                self.stats.engine_batches += 1
+                self.stats.queries_answered += len(pending)
+                self.stats.largest_batch = max(self.stats.largest_batch, len(pending))
+                if len(pending) > 1:
+                    self.stats.coalesced_queries += len(pending)
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die
+            self.stats.internal_errors += len(pending)
+            responses = [
+                error_response(request.id, f"internal error answering batch: {exc}")
+                for request in requests
+            ]
+        for (_, future), response in zip(pending, responses):
+            if not future.done():
+                future.set_result(response)

@@ -144,6 +144,88 @@ class TestQuery:
                      "--budget", "6", "--range", "nonsense"]) == 2
         assert "START:END" in capsys.readouterr().err
 
+    def test_json_emits_wire_schema_responses(self, model_path, tmp_path, capsys):
+        from repro.service import QueryResponse
+
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--point", "3", "--range", "0:15",
+                     "--json", "--stats"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        responses = [QueryResponse.from_json(line) for line in lines[:2]]
+        assert [response.id for response in responses] == ["q0", "q1"]
+        assert all(response.ok for response in responses)
+        assert all(response.expected_error is not None for response in responses)
+        stats = json.loads(lines[2])
+        assert stats["op"] == "stats" and stats["store"]["builds"] == 1
+
+    def test_json_replay_report(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--replay", "300", "--seed", "5", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out.strip())
+        assert report["queries"] == 300
+        assert report["seed"] == 5
+        assert set(report["latency_ms"]) == {"p50", "p95", "p99", "max"}
+        assert report["qps"] > 0
+
+    def test_inverted_range_is_a_protocol_error(self, model_path, tmp_path, capsys):
+        assert main(["query", "--input", str(model_path), "--store", str(tmp_path / "s"),
+                     "--budget", "6", "--range", "9:2"]) == 2
+        assert "invalid query range" in capsys.readouterr().err
+
+
+class TestServeAndLoadgen:
+    def test_serve_loadgen_round_trip(self, model_path, tmp_path, capsys):
+        import threading
+        import time
+
+        store = tmp_path / "store"
+        ready = tmp_path / "ready.txt"
+        output = tmp_path / "BENCH_service.json"
+        serve_args = ["serve", "--input", str(model_path), "--store", str(store),
+                      "--budget", "6", "--port", "0", "--ready-file", str(ready),
+                      "--allow-remote-shutdown", "--also-budget", "10",
+                      "--max-pending", "32"]
+        server = threading.Thread(target=main, args=(serve_args,), daemon=True)
+        server.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert ready.exists(), "the daemon never wrote its ready file"
+
+        # --shutdown drains the daemon remotely, so the serve thread exits.
+        assert main(["loadgen", "--connect", ready.read_text(),
+                     "--levels", "1", "4", "--queries", "60",
+                     "--burst", "120", "--burst-concurrency", "4",
+                     "--target", "b10",
+                     "--verify", "--input", str(model_path), "--store", str(store),
+                     "--budget", "10", "--verify-queries", "30",
+                     "--shutdown", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        server.join(timeout=30.0)
+        assert not server.is_alive()
+        assert "bit_identical=True" in out
+        assert "daemon shutdown: draining" in out
+
+        report = json.loads(output.read_text())
+        assert [level["concurrency"] for level in report["levels"]] == [1, 4]
+        assert report["target"] == "b10"
+        assert report["verification"]["bit_identical"] is True
+        assert report["overload"]["responsive_after"] is True
+        assert report["server_stats"]["queries_answered"] > 0
+
+    def test_loadgen_without_daemon_is_an_error(self, capsys):
+        # Port 9 (discard) is never listening on loopback.
+        assert main(["loadgen", "--connect", "127.0.0.1:9", "--queries", "10"]) == 2
+        assert "no daemon is listening" in capsys.readouterr().err
+
+    def test_loadgen_verify_needs_the_build_flags(self, capsys):
+        assert main(["loadgen", "--connect", "127.0.0.1:9", "--verify"]) == 2
+        assert "--verify" in capsys.readouterr().err
+
+    def test_loadgen_bad_connect_is_an_error(self, capsys):
+        assert main(["loadgen", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
 
 class TestColumnarStoreCli:
     def test_serve_build_and_query_round_trip(self, model_path, tmp_path, capsys):
@@ -209,7 +291,7 @@ class TestColumnarStoreCli:
 class TestParser:
     def test_parser_lists_serving_subcommands(self):
         text = build_parser().format_help()
-        for command in ("serve-build", "query", "store"):
+        for command in ("serve-build", "query", "serve", "loadgen", "store"):
             assert command in text
 
     def test_store_format_choices(self):

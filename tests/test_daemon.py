@@ -1,0 +1,502 @@
+"""Asyncio integration tests for the serving daemon.
+
+Every test runs a real :class:`ServingDaemon` on an ephemeral port inside its
+own event loop and talks to it over actual sockets — coalescing, admission
+control, the degradation ladder and graceful shutdown are exercised as a
+client would see them, not via private state.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.spec import SynopsisSpec
+from repro.datasets import generate_sensor_readings
+from repro.exceptions import SynopsisError
+from repro.service import (
+    PROTOCOL_VERSION,
+    BatchQueryEngine,
+    DaemonConfig,
+    LoadgenClient,
+    QueryRequest,
+    ServingDaemon,
+    SynopsisStore,
+    generate_query_mix,
+    run_loadgen,
+    stream_rng,
+)
+from repro.service.loadgen import requests_from_batch
+
+DOMAIN = 64
+
+
+@pytest.fixture(scope="module")
+def model():
+    return generate_sensor_readings(DOMAIN, seed=11)
+
+
+@pytest.fixture
+def spec():
+    return SynopsisSpec(kind="histogram", budget=8, metric="sse")
+
+
+@pytest.fixture
+def daemon_factory(model, spec, tmp_path):
+    """Build a daemon over a fresh store; targets default + a wavelet sibling."""
+
+    def make(config=None, targets=None):
+        store = SynopsisStore(tmp_path / "store")
+        targets = targets or {
+            "default": spec,
+            "wave": SynopsisSpec(kind="wavelet", budget=6, metric="sse"),
+        }
+        daemon = ServingDaemon(model, store, targets, config=config,
+                               default_target="default")
+        return daemon, store
+
+    return make
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _with_daemon(daemon, body):
+    host, port = await daemon.start(port=0)
+    try:
+        return await body(host, port)
+    finally:
+        await daemon.stop()
+
+
+class TestLifecycleAndOps:
+    def test_binds_ephemeral_port_and_answers_ping(self, daemon_factory):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            assert daemon.address == (host, port)
+            assert port != 0
+            client = await LoadgenClient.connect(host, port)
+            try:
+                pong = await client.round_trip({"op": "ping"})
+            finally:
+                await client.close()
+            assert pong == {"op": "pong", "version": PROTOCOL_VERSION}
+
+        run(_with_daemon(daemon, body))
+
+    def test_info_lists_targets_and_limits(self, daemon_factory):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                info = await client.round_trip({"op": "info"})
+            finally:
+                await client.close()
+            assert info["version"] == PROTOCOL_VERSION
+            assert info["default_target"] == "default"
+            assert set(info["targets"]) == {"default", "wave"}
+            assert info["targets"]["default"]["domain_size"] == DOMAIN
+            assert info["targets"]["wave"]["kind"] == "wavelet"
+            assert info["max_pending"] == daemon.config.max_pending
+
+        run(_with_daemon(daemon, body))
+
+    def test_stats_op_reports_server_and_store_counters(self, daemon_factory):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                await client.query(QueryRequest.point("q", 3))
+                stats = await client.round_trip({"op": "stats"})
+            finally:
+                await client.close()
+            assert stats["stats"]["queries_answered"] == 1
+            assert stats["stats"]["engine_batches"] == 1
+            assert stats["store"]["builds"] == 2  # both targets warmed
+
+        run(_with_daemon(daemon, body))
+
+    def test_sweep_targets_are_rejected_at_construction(self, daemon_factory, spec):
+        with pytest.raises(SynopsisError, match="sweep"):
+            daemon_factory(targets={"sweep": spec.with_budget((4, 8))})
+
+    def test_answers_are_bit_identical_to_the_direct_engine(self, daemon_factory,
+                                                            model, spec):
+        daemon, store = daemon_factory()
+
+        async def body(host, port):
+            batch = generate_query_mix(DOMAIN, 60, seed=5)
+            requests = requests_from_batch(batch, prefix="t")
+            client = await LoadgenClient.connect(host, port)
+            try:
+                got = [await client.query(request) for request in requests]
+            finally:
+                await client.close()
+            return batch, got
+
+        batch, got = run(_with_daemon(daemon, body))
+        synopsis = store.get_or_build(model, spec)
+        engine = BatchQueryEngine.from_model(synopsis, model, spec.metric)
+        expected = engine.answer(batch)
+        expected_errors = engine.attribute_errors(batch)
+        assert all(response.ok for response in got)
+        assert np.array_equal([r.answer for r in got], expected)
+        assert np.array_equal([r.expected_error for r in got], expected_errors)
+
+
+class TestCoalescing:
+    def test_concurrent_queries_share_engine_calls(self, daemon_factory):
+        daemon, _ = daemon_factory(config=DaemonConfig(window_ms=20.0))
+
+        async def body(host, port):
+            async def one(item):
+                client = await LoadgenClient.connect(host, port)
+                try:
+                    return await client.query(QueryRequest.point(f"q{item}", item))
+                finally:
+                    await client.close()
+
+            responses = await asyncio.gather(*(one(item % DOMAIN) for item in range(40)))
+            assert all(response.ok for response in responses)
+
+        run(_with_daemon(daemon, body))
+        # Strictly fewer engine calls than queries is the whole point of the
+        # micro-batching window.
+        assert daemon.stats.queries_answered == 40
+        assert daemon.stats.engine_batches < 40
+        assert daemon.stats.coalesced_queries > 0
+        assert daemon.stats.largest_batch > 1
+
+    def test_full_window_flushes_early_at_max_batch(self, daemon_factory):
+        daemon, _ = daemon_factory(
+            config=DaemonConfig(window_ms=10_000.0, max_batch=4)
+        )
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                for i in range(4):
+                    await client.send(QueryRequest.point(i, i).to_dict())
+                replies = [await client.recv() for _ in range(4)]
+            finally:
+                await client.close()
+            # The 10-second window never fired; four queries hit max_batch
+            # and flushed immediately as one engine call.
+            assert {reply["status"] for reply in replies} == {"ok"}
+
+        run(_with_daemon(daemon, body))
+        assert daemon.stats.engine_batches == 1
+        assert daemon.stats.largest_batch == 4
+
+    def test_shutdown_drains_an_armed_window(self, daemon_factory):
+        daemon, _ = daemon_factory(config=DaemonConfig(window_ms=10_000.0))
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                await client.send(QueryRequest.point("pending", 1).to_dict())
+                # Give the dispatcher a beat to admit and arm the window,
+                # then stop: the drain must answer the parked query rather
+                # than wait out the 10-second timer.
+                await asyncio.sleep(0.05)
+                await daemon.stop()
+                reply = await client.recv()
+            finally:
+                await client.close()
+            assert reply["status"] == "ok"
+            assert reply["id"] == "pending"
+
+        run(_with_daemon(daemon, body))
+        assert daemon.stats.drained_queries == 1
+        assert daemon.stats.queries_answered == 1
+
+
+class TestAdmissionControl:
+    def test_pending_cap_returns_overloaded_not_a_hang(self, daemon_factory):
+        daemon, _ = daemon_factory(
+            config=DaemonConfig(window_ms=200.0, max_pending=5,
+                                max_inflight_per_client=1000)
+        )
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                for i in range(20):
+                    await client.send(QueryRequest.point(i, i % DOMAIN).to_dict())
+                replies = [
+                    await asyncio.wait_for(client.recv(), timeout=5.0)
+                    for _ in range(20)
+                ]
+            finally:
+                await client.close()
+            return replies
+
+        replies = run(_with_daemon(daemon, body))
+        statuses = [reply["status"] for reply in replies]
+        assert statuses.count("overloaded") == 15
+        assert statuses.count("ok") == 5
+        for reply in replies:
+            if reply["status"] == "overloaded":
+                assert "pending" in reply["detail"]
+        assert daemon.stats.overloaded == 15
+
+    def test_per_client_inflight_cap(self, daemon_factory):
+        daemon, _ = daemon_factory(
+            config=DaemonConfig(window_ms=200.0, max_inflight_per_client=3,
+                                max_pending=1000)
+        )
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                for i in range(10):
+                    await client.send(QueryRequest.point(i, i % DOMAIN).to_dict())
+                replies = [
+                    await asyncio.wait_for(client.recv(), timeout=5.0)
+                    for _ in range(10)
+                ]
+            finally:
+                await client.close()
+            return replies
+
+        replies = run(_with_daemon(daemon, body))
+        statuses = [reply["status"] for reply in replies]
+        assert statuses.count("ok") == 3
+        assert statuses.count("overloaded") == 7
+        assert daemon.stats.overloaded == 7
+
+
+class TestProtocolRejections:
+    def test_malformed_and_mismatched_lines_get_typed_errors(self, daemon_factory):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            replies = []
+            lines = [
+                b"{broken json\n",
+                b'{"id": "v", "kind": "point", "start": 0, "end": 0, "version": 99}\n',
+                b'{"id": "k", "kind": "median", "start": 0, "end": 0, "version": 1}\n',
+                b'{"id": "f", "kind": "point", "start": 0, "end": 0, "version": 1, "extra": 1}\n',
+                b'{"op": "teleport", "id": "o"}\n',
+            ]
+            for line in lines:
+                writer.write(line)
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            # The daemon survived every malformed line on the same connection.
+            writer.write((QueryRequest.point("fine", 2).to_json() + "\n").encode())
+            await writer.drain()
+            replies.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return replies
+
+        replies = run(_with_daemon(daemon, body))
+        broken, mismatch, kind, extra, op, fine = replies
+        assert broken["status"] == "error" and broken["id"] == "?"
+        assert mismatch["status"] == "error" and "version" in mismatch["detail"]
+        assert mismatch["id"] == "v"
+        assert kind["status"] == "error" and "kind" in kind["detail"]
+        assert extra["status"] == "error" and "unknown request field" in extra["detail"]
+        assert op["status"] == "error" and "unknown op" in op["detail"]
+        assert fine["status"] == "ok"
+        assert daemon.stats.version_rejections == 1
+        assert daemon.stats.protocol_errors >= 3
+
+    def test_unknown_target_and_out_of_domain_are_rejected_per_query(
+        self, daemon_factory
+    ):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                missing = await client.query(
+                    QueryRequest.point("m", 1, target="nope")
+                )
+                beyond = await client.query(
+                    QueryRequest.range_sum("b", 0, DOMAIN + 5)
+                )
+                fine = await client.query(QueryRequest.point("ok", 1))
+            finally:
+                await client.close()
+            assert missing.status == "error" and "unknown target" in missing.detail
+            assert beyond.status == "error" and "covers" in beyond.detail
+            assert fine.ok
+
+        run(_with_daemon(daemon, body))
+        assert daemon.stats.invalid_queries == 2
+
+    def test_remote_shutdown_is_gated(self, daemon_factory):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                refusal = await client.round_trip({"op": "shutdown"})
+            finally:
+                await client.close()
+            assert refusal["status"] == "error"
+            assert "disabled" in refusal["detail"]
+
+        run(_with_daemon(daemon, body))
+
+    def test_remote_shutdown_drains_when_allowed(self, daemon_factory):
+        daemon, _ = daemon_factory(
+            config=DaemonConfig(allow_remote_shutdown=True)
+        )
+
+        async def body():
+            host, port = await daemon.start(port=0)
+            client = await LoadgenClient.connect(host, port)
+            try:
+                await client.query(QueryRequest.point("q", 1))
+                ack = await client.round_trip({"op": "shutdown"})
+            finally:
+                await client.close()
+            assert ack == {"op": "shutdown", "version": PROTOCOL_VERSION,
+                           "status": "draining"}
+            await asyncio.wait_for(daemon.serve_until_stopped(), timeout=10.0)
+            with pytest.raises(ConnectionRefusedError):
+                await asyncio.open_connection(host, port)
+
+        run(body())
+        assert daemon.stats.queries_answered == 1
+
+
+class TestDegradationLadder:
+    def test_evicted_engine_is_rebuilt_from_the_store(self, daemon_factory):
+        daemon, store = daemon_factory(config=DaemonConfig(max_engines=1))
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                # Warm-up cached "wave" last; querying "default" evicts it,
+                # then querying "wave" again must re-resolve via the store.
+                first = await client.query(QueryRequest.point("a", 1))
+                second = await client.query(QueryRequest.point("b", 1, target="wave"))
+            finally:
+                await client.close()
+            assert first.ok and second.ok
+
+        run(_with_daemon(daemon, body))
+        assert daemon.stats.engine_evictions >= 2
+        assert daemon.stats.engine_store_resolutions >= 1
+
+    def test_store_miss_without_build_on_miss_is_unavailable(self, daemon_factory):
+        daemon, store = daemon_factory(config=DaemonConfig(max_engines=1))
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                # Evict "wave" from the engine cache and erase every copy of
+                # it: the bottom of the ladder is an explicit rejection, not
+                # a blocking rebuild.
+                await client.query(QueryRequest.point("a", 1))
+                store.clear_memory()
+                store.clear_disk()
+                rejected = await client.query(QueryRequest.point("b", 1, target="wave"))
+                alive = await client.query(QueryRequest.point("c", 1))
+            finally:
+                await client.close()
+            assert rejected.status == "unavailable"
+            assert "build_on_miss" in rejected.detail
+            assert alive.ok
+
+        run(_with_daemon(daemon, body))
+        assert daemon.stats.unavailable == 1
+
+    def test_build_on_miss_rebuilds_instead(self, daemon_factory):
+        daemon, store = daemon_factory(
+            config=DaemonConfig(max_engines=1, build_on_miss=True)
+        )
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                await client.query(QueryRequest.point("a", 1))
+                store.clear_memory()
+                store.clear_disk()
+                rebuilt = await client.query(QueryRequest.point("b", 1, target="wave"))
+            finally:
+                await client.close()
+            assert rebuilt.ok
+
+        run(_with_daemon(daemon, body))
+        assert daemon.stats.engine_builds == 1
+        assert daemon.stats.unavailable == 0
+
+
+class TestDeterminism:
+    def test_stream_rng_is_reproducible_and_streams_are_independent(self):
+        a = stream_rng(7, 3).random(8)
+        b = stream_rng(7, 3).random(8)
+        other = stream_rng(7, 4).random(8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, other)
+
+    def test_generate_query_mix_streams_reproduce_bit_identically(self):
+        one = generate_query_mix(DOMAIN, 50, seed=9, stream=2)
+        two = generate_query_mix(DOMAIN, 50, seed=9, stream=2)
+        sibling = generate_query_mix(DOMAIN, 50, seed=9, stream=3)
+        assert one.as_tuples() == two.as_tuples()
+        assert one.as_tuples() != sibling.as_tuples()
+
+    def test_stream_none_matches_the_legacy_single_stream(self):
+        legacy = generate_query_mix(DOMAIN, 50, seed=9)
+        again = generate_query_mix(DOMAIN, 50, seed=9, stream=None)
+        assert legacy.as_tuples() == again.as_tuples()
+
+
+class TestLoadgenHarness:
+    def test_report_structure_coalescing_and_bit_identity(self, daemon_factory,
+                                                          model, spec):
+        daemon, store = daemon_factory(
+            config=DaemonConfig(allow_remote_shutdown=True, max_pending=16)
+        )
+
+        async def body():
+            host, port = await daemon.start(port=0)
+            synopsis = store.get_or_build(model, spec)
+            engine = BatchQueryEngine.from_model(synopsis, model, spec.metric)
+            report = await run_loadgen(
+                host,
+                port,
+                levels=(1, 4),
+                queries_per_level=80,
+                seed=3,
+                burst=120,
+                burst_concurrency=4,
+                burst_rate=4000.0,
+                verify_engine=engine,
+                verify_queries=40,
+                shutdown=True,
+            )
+            await asyncio.wait_for(daemon.serve_until_stopped(), timeout=10.0)
+            return report
+
+        report = run(body())
+        assert report["protocol_version"] == PROTOCOL_VERSION
+        assert [level["concurrency"] for level in report["levels"]] == [1, 4]
+        for level in report["levels"]:
+            assert level["statuses"].get("ok") == level["queries"]
+            assert set(level["latency_ms"]) == {"p50", "p95", "p99", "max"}
+            assert level["qps"] > 0
+        # The c=4 closed loop coalesces: fewer engine calls than queries.
+        concurrent = report["levels"][1]
+        assert 0 < concurrent["engine_batches"] < concurrent["queries"]
+        overload = report["overload"]
+        assert overload["statuses"].get("overloaded", 0) > 0
+        assert overload["responsive_after"] is True
+        verification = report["verification"]
+        assert verification["bit_identical"] is True
+        assert verification["expected_errors_bit_identical"] is True
+        assert verification["max_abs_diff"] == 0.0
+        assert report["shutdown"] == "draining"
+        assert report["server_stats"]["queries_answered"] > 0
