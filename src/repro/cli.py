@@ -48,6 +48,12 @@ Installed as ``repro-synopses``.  Sub-commands:
     open-loop overload burst, optional bit-identity verification against a
     locally built engine; ``--output`` writes the ``BENCH_service.json``
     report.
+
+``telemetry``
+    Scrape a running daemon's metrics over the wire ``metrics`` op and
+    validate the Prometheus text exposition: parse it strictly, optionally
+    enforce a minimum family count (``--min-families``) and required family
+    names (``--require``, repeatable), and write the scrape to ``--output``.
 """
 
 from __future__ import annotations
@@ -293,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="B",
                        help="serve an extra target 'b{B}' at this budget under the "
                        "same configuration (repeatable)")
+    serve.add_argument("--log-level", choices=["debug", "info", "warning", "error"],
+                       default="info",
+                       help="structured JSON log level on stderr (default info)")
+    serve.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
+                       help="log a structured slow-query record (with the flush's "
+                       "span tree) for any engine flush at or above this wall time")
 
     # loadgen -------------------------------------------------------------
     loadgen = subparsers.add_parser(
@@ -330,6 +342,24 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--smoke", action="store_true",
                          help="small CI preset: levels 1/4/8, 200 queries per level, "
                          "a 300-query burst")
+
+    # telemetry -----------------------------------------------------------
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="scrape and validate a running daemon's Prometheus metrics",
+    )
+    telemetry.add_argument("--connect", metavar="HOST:PORT", default=None,
+                           help="daemon address (overrides --host/--port)")
+    telemetry.add_argument("--host", default="127.0.0.1", help="daemon host")
+    telemetry.add_argument("--port", type=int, default=DEFAULT_PORT, help="daemon port")
+    telemetry.add_argument("--output", metavar="FILE", default=None,
+                           help="write the raw exposition text here")
+    telemetry.add_argument("--min-families", type=int, default=0, metavar="N",
+                           help="fail unless the scrape exposes at least N metric "
+                           "families")
+    telemetry.add_argument("--require", action="append", default=[], metavar="FAMILY",
+                           help="fail unless this metric family is present "
+                           "(repeatable)")
 
     # store ---------------------------------------------------------------
     store = subparsers.add_parser(
@@ -620,7 +650,9 @@ def _serve(args: argparse.Namespace) -> str:
     from pathlib import Path
 
     from .service import DaemonConfig, ServingDaemon, SynopsisStore
+    from .telemetry import configure_logging
 
+    configure_logging(args.log_level)
     model = read_model(args.input)
     store = SynopsisStore(args.store, format=args.store_format)
     spec = _serving_spec(args)
@@ -638,6 +670,7 @@ def _serve(args: argparse.Namespace) -> str:
         max_engines=args.max_engines,
         build_on_miss=args.build_on_miss,
         allow_remote_shutdown=args.allow_remote_shutdown,
+        slow_query_ms=args.slow_query_ms,
     )
     daemon = ServingDaemon(model, store, targets, config=config, default_target="default")
 
@@ -679,6 +712,18 @@ def _serve(args: argparse.Namespace) -> str:
     )
 
 
+def _daemon_address(args: argparse.Namespace):
+    """Resolve --connect HOST:PORT (or --host/--port) to an address pair."""
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ReproError(f"--connect expects HOST:PORT, got {args.connect!r}") from None
+        return host or "127.0.0.1", port
+    return args.host, args.port
+
+
 def _run_loadgen(args: argparse.Namespace) -> str:
     """Attack a running daemon; optionally write the BENCH_service report."""
     import json as json_module
@@ -686,15 +731,7 @@ def _run_loadgen(args: argparse.Namespace) -> str:
 
     from .service import BatchQueryEngine, run_loadgen_sync
 
-    if args.connect:
-        host, _, port_text = args.connect.rpartition(":")
-        try:
-            port = int(port_text)
-        except ValueError:
-            raise ReproError(f"--connect expects HOST:PORT, got {args.connect!r}") from None
-        host = host or "127.0.0.1"
-    else:
-        host, port = args.host, args.port
+    host, port = _daemon_address(args)
 
     levels = list(args.levels)
     queries = args.queries
@@ -767,6 +804,62 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         )
     if "shutdown" in report:
         lines.append(f"daemon shutdown: {report['shutdown']}")
+    if args.output:
+        lines.append(f"wrote {args.output}")
+    return "\n".join(lines)
+
+
+def _run_telemetry(args: argparse.Namespace) -> str:
+    """Scrape a daemon's wire ``metrics`` op and validate the exposition."""
+    import asyncio
+    from pathlib import Path
+
+    from .service import OP_METRICS
+    from .service.loadgen import LoadgenClient
+    from .telemetry import parse_prometheus_text
+
+    host, port = _daemon_address(args)
+
+    async def _scrape():
+        client = await LoadgenClient.connect(host, port)
+        try:
+            return await client.round_trip({"op": OP_METRICS})
+        finally:
+            await client.close()
+
+    try:
+        reply = asyncio.run(_scrape())
+    except ConnectionRefusedError:
+        raise ReproError(f"no daemon is listening on {host}:{port}") from None
+    if reply.get("op") != OP_METRICS or "body" not in reply:
+        raise ReproError(f"expected a metrics payload, got {reply!r}")
+    body = reply["body"]
+    try:
+        families = parse_prometheus_text(body)
+    except ValueError as exc:
+        raise ReproError(f"the scrape is not valid Prometheus text: {exc}") from None
+
+    missing = [name for name in args.require if name not in families]
+    if missing:
+        raise ReproError(
+            f"required metric families are missing from the scrape: "
+            f"{', '.join(sorted(missing))}"
+        )
+    if len(families) < args.min_families:
+        raise ReproError(
+            f"the scrape exposes {len(families)} metric families; "
+            f"--min-families asked for {args.min_families}"
+        )
+
+    if args.output:
+        Path(args.output).write_text(body)
+    samples = sum(len(family.samples) for family in families.values())
+    lines = [
+        f"scraped {host}:{port}: {len(families)} metric families, "
+        f"{samples} samples ({reply.get('content_type', 'unknown content type')})"
+    ]
+    for family in families.values():
+        lines.append(f"  {family.kind:<9} {family.name} ({len(family.samples)} samples)")
     if args.output:
         lines.append(f"wrote {args.output}")
     return "\n".join(lines)
@@ -888,6 +981,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_serve(args))
         elif args.command == "loadgen":
             print(_run_loadgen(args))
+        elif args.command == "telemetry":
+            print(_run_telemetry(args))
         elif args.command == "store":
             print(_store_inspect(args))
         else:  # pragma: no cover - argparse guards this

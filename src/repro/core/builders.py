@@ -21,6 +21,7 @@ import numpy as np
 from ..exceptions import SynopsisError
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
+from ..telemetry import span
 from .histogram import Histogram
 from .metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from .spec import DEFAULT_EPSILON, DEFAULT_KERNEL, DEFAULT_SSE_VARIANT, SynopsisSpec
@@ -102,7 +103,13 @@ def build(data: DataLike, spec: SynopsisSpec) -> Union[Synopsis, List[Synopsis]]
         raise SynopsisError(f"no builder registered for synopsis kind {spec.kind!r}")
     normalised = _as_data(data)
     spec.validate_for_domain(normalised.domain_size)
-    results = builder(normalised, spec)
+    with span(
+        "build.synopsis",
+        kind=spec.kind,
+        n=normalised.domain_size,
+        budget=max(spec.budgets),
+    ):
+        results = builder(normalised, spec)
     return list(results) if spec.is_sweep else results[0]
 
 

@@ -23,6 +23,7 @@ from ..exceptions import SynopsisError
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
 from ..models.tuple_pdf import TuplePdfModel
+from ..telemetry import span
 from .cost_base import BucketCostFunction
 from .kernels import AUTO_KERNEL, DynamicProgramResult, resolve_kernel
 from .max_error import MaxAbsoluteCost, MaxAbsoluteRelativeCost
@@ -110,7 +111,12 @@ def solve_histogram_dp(
     unsuitable).  Returns the full DP table, from which the optimal
     histogram for any budget up to ``max_buckets`` can be read off.
     """
-    cost_fn = make_cost_function(
-        data, metric, sanity=sanity, sse_variant=sse_variant, workload=workload
-    )
-    return resolve_kernel(kernel, cost_fn).solve(cost_fn, max_buckets)
+    with span("build.cost_oracle", metric=str(metric)):
+        cost_fn = make_cost_function(
+            data, metric, sanity=sanity, sse_variant=sse_variant, workload=workload
+        )
+    with span("build.kernel_resolve", requested=kernel) as resolve_trace:
+        solver = resolve_kernel(kernel, cost_fn)
+        resolve_trace.set(kernel=solver.name)
+    with span("build.dp", kernel=solver.name, buckets=max_buckets, n=cost_fn.domain_size):
+        return solver.solve(cost_fn, max_buckets)

@@ -26,6 +26,7 @@ allocator table are shared across all requested budgets.
 
 from __future__ import annotations
 
+import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -42,6 +43,9 @@ from ..evaluation.errors import expected_error
 from ..exceptions import SynopsisError
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
+from ..telemetry import adopt_spans, capture_spans, tracing_active
+from ..telemetry import Span as TraceSpan
+from ..telemetry import span as trace_span
 from ..wavelets.haar import next_power_of_two
 from .allocator import BudgetAllocator
 from .partitioner import Span, shard_spans
@@ -58,6 +62,11 @@ class _ShardTask:
     data: FrequencyDistributions
     spec: SynopsisSpec  # base-kind sweep spec, shard-local workload inside
     zero_weight: bool  # the shard's workload weights are all zero
+    #: Capture the shard's telemetry span tree and ship it home.  Set by the
+    #: parent when *its* tracing is active — pool children under spawn do not
+    #: inherit the parent's telemetry flag, so the decision travels with the
+    #: task rather than relying on ambient state.
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -70,6 +79,11 @@ class ShardBuild:
     #: ``curve[b]`` is the shard's exact expected error under budget ``b``;
     #: ``numpy.inf`` marks infeasible budgets (index 0 for histograms).
     curve: np.ndarray
+    #: Telemetry span trees captured while sweeping this shard (empty unless
+    #: the task asked for tracing).  Plain picklable dataclasses, so they
+    #: cross the ProcessPoolExecutor boundary inside this result and the
+    #: parent grafts them into its live trace via ``adopt_spans``.
+    spans: Tuple[TraceSpan, ...] = ()
 
     def synopsis_for(self, budget: int) -> Synopsis:
         """The shard synopsis built for one allocated budget."""
@@ -80,11 +94,8 @@ class ShardBuild:
         return self.synopses[budget - self.budgets[0]]
 
 
-def _solve_shard(task: _ShardTask) -> ShardBuild:
-    """Sweep one shard: build every feasible budget, evaluate the curve.
-
-    Module-level (not a closure) so tasks travel to pool workers by pickle.
-    """
+def _sweep_shard(task: _ShardTask) -> ShardBuild:
+    """The actual shard sweep: build every feasible budget, evaluate the curve."""
     built = build(task.data, task.spec)
     synopses = tuple(built) if isinstance(built, list) else (built,)
     budgets = task.spec.budgets
@@ -99,6 +110,31 @@ def _solve_shard(task: _ShardTask) -> ShardBuild:
                 task.data, synopsis, task.spec.metric, workload=task.spec.workload
             )
     return ShardBuild(task.span, budgets, synopses, curve)
+
+
+def _solve_shard(task: _ShardTask) -> ShardBuild:
+    """Sweep one shard, optionally under a locally-captured span tree.
+
+    Module-level (not a closure) so tasks travel to pool workers by pickle.
+    When the task asks for tracing, the sweep runs inside a detached
+    ``capture_spans`` collector — recording works even in a spawned child
+    whose global telemetry flag is off, and in the serial fallback the
+    detachment keeps the tree out of the live parent span so every shard is
+    grafted back through the same ``adopt_spans`` path, exactly once.
+    """
+    if not task.trace:
+        return _sweep_shard(task)
+    with capture_spans(detach=True) as captured:
+        with trace_span(
+            "build.shard",
+            start=task.span[0],
+            end=task.span[1],
+            pid=os.getpid(),
+        ):
+            result = _sweep_shard(task)
+    return ShardBuild(
+        result.span, result.budgets, result.synopses, result.curve, tuple(captured)
+    )
 
 
 def _run_tasks(tasks: List[_ShardTask], workers: Optional[int]) -> List[ShardBuild]:
@@ -143,6 +179,7 @@ def build_shards(
     part = spec.partition
     minimum = 1 if part.base == "histogram" else 0
     max_budget = max(spec.budgets)
+    trace = tracing_active()
     tasks: List[_ShardTask] = []
     for start, end in spans:
         width = end - start + 1
@@ -169,9 +206,16 @@ def build_shards(
                 data=distributions.restrict(start, end),
                 spec=shard_spec,
                 zero_weight=zero_weight,
+                trace=trace,
             )
         )
-    return _run_tasks(tasks, part.workers)
+    builds = _run_tasks(tasks, part.workers)
+    if trace:
+        # Graft every shard's captured tree (possibly shipped back from a
+        # pool worker) into this process's live trace, in shard order.
+        for shard in builds:
+            adopt_spans(shard.spans)
+    return builds
 
 
 @register_builder("partitioned")
@@ -182,17 +226,22 @@ def _build_partitioned(data: NormalisedData, spec: SynopsisSpec) -> List[Synopsi
     )
     part = spec.partition
     assert part is not None  # paired at spec construction
-    spans = shard_spans(distributions, part)
-    builds = build_shards(distributions, spans, spec)
-    allocator = BudgetAllocator(
-        [shard.curve for shard in builds],
-        aggregation="sum" if spec.metric.cumulative else "max",
-    )
-    results: List[Synopsis] = []
-    for allocation in allocator.sweep(list(spec.budgets), part.allocation):
-        shard_synopses = [
-            shard.synopsis_for(share)
-            for shard, share in zip(builds, allocation.budgets)
-        ]
-        results.append(PartitionedSynopsis(spans, shard_synopses))
+    with trace_span(
+        "build.partition", workers=part.workers or 1, strategy=part.strategy
+    ) as trace:
+        spans = shard_spans(distributions, part)
+        trace.set(shards=len(spans))
+        builds = build_shards(distributions, spans, spec)
+        with trace_span("build.allocate", shards=len(spans)):
+            allocator = BudgetAllocator(
+                [shard.curve for shard in builds],
+                aggregation="sum" if spec.metric.cumulative else "max",
+            )
+            results: List[Synopsis] = []
+            for allocation in allocator.sweep(list(spec.budgets), part.allocation):
+                shard_synopses = [
+                    shard.synopsis_for(share)
+                    for shard, share in zip(builds, allocation.budgets)
+                ]
+                results.append(PartitionedSynopsis(spans, shard_synopses))
     return results

@@ -29,6 +29,8 @@ keying, coalescing, admission-control and complexity notes.
 from .engine import BatchQueryEngine, answer_batch, answer_serial
 from .loadgen import LoadgenClient, requests_from_batch, run_loadgen, run_loadgen_sync
 from .protocol import (
+    MIN_PROTOCOL_VERSION,
+    OP_METRICS,
     PROTOCOL_VERSION,
     RESPONSE_STATUSES,
     QueryRequest,
@@ -58,6 +60,8 @@ __all__ = [
     "replay",
     "stream_rng",
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "OP_METRICS",
     "RESPONSE_STATUSES",
     "QueryRequest",
     "QueryResponse",

@@ -22,6 +22,7 @@ range for cumulative metrics, the range maximum for maximum metrics.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 import numpy as np
@@ -29,11 +30,27 @@ import numpy as np
 from ..core.metrics import DEFAULT_SANITY, ErrorMetric, MetricSpec
 from ..core.synopsis import Synopsis
 from ..exceptions import EvaluationError
+from ..telemetry import registry
+from ..telemetry.metrics import STATE as _TELEMETRY
 from .queries import POINT, QUERY_KINDS, QueryBatch
 
 __all__ = ["BatchQueryEngine", "answer_batch", "answer_serial"]
 
 _RANGE_AVG_CODE = QUERY_KINDS.index("range_avg")
+
+# Hot-path instruments, registered once at import.  ``answer`` guards all of
+# them behind a single ``_TELEMETRY.enabled`` attribute check so the serving
+# fast path pays nothing measurable when telemetry is off (asserted ≤1% by
+# tests/test_telemetry.py).
+_ENGINE_BATCHES = registry().counter(
+    "repro_engine_batches_total", "Query batches answered by BatchQueryEngine"
+)
+_ENGINE_QUERIES = registry().counter(
+    "repro_engine_queries_total", "Individual queries answered by BatchQueryEngine"
+)
+_ENGINE_LATENCY = registry().histogram(
+    "repro_engine_batch_latency_ms", "Wall time of one vectorised batch answer"
+)
 
 
 class _RangeMaxIndex:
@@ -180,6 +197,7 @@ class BatchQueryEngine:
         One vectorised range-sum evaluation covers all three query kinds;
         averages are divided by their range widths afterwards.
         """
+        started = time.perf_counter() if _TELEMETRY.enabled else None
         self._check_batch(batch)
         if len(batch) == 0:
             return np.zeros(0, dtype=float)
@@ -188,6 +206,10 @@ class BatchQueryEngine:
         if np.any(averages):
             answers = answers.astype(float, copy=True)
             answers[averages] /= batch.widths[averages]
+        if started is not None:
+            _ENGINE_BATCHES.inc()
+            _ENGINE_QUERIES.inc(len(batch))
+            _ENGINE_LATENCY.observe((time.perf_counter() - started) * 1000.0)
         return answers
 
     def answer_serial(self, batch: QueryBatch) -> np.ndarray:

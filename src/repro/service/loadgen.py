@@ -34,11 +34,12 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import EvaluationError, ProtocolError
+from ..telemetry import LATENCY_BUCKETS_MS, Histogram
 from .engine import BatchQueryEngine
 from .protocol import (
     OP_INFO,
@@ -252,6 +253,18 @@ async def _run_level(
     answered = (
         after["stats"]["queries_answered"] - before["stats"]["queries_answered"]
     )
+    # Client-side per-bucket distribution on the *same* boundaries as the
+    # daemon's server-side instruments, so the two histograms line up
+    # bucket-for-bucket when a scrape sits next to a loadgen report.
+    histogram = Histogram(
+        "loadgen_latency_ms",
+        "Client-observed round-trip latency",
+        buckets=LATENCY_BUCKETS_MS,
+        gated=False,
+        window=max(1, len(latencies_ms)),
+    )
+    for value in latencies_ms:
+        histogram.observe(value)
     return {
         "mode": mode,
         "concurrency": concurrency,
@@ -261,6 +274,7 @@ async def _run_level(
         "seconds": elapsed,
         "qps": queries / elapsed if elapsed > 0 else float("inf"),
         "latency_ms": latency_summary(latencies_ms),
+        "latency_histogram": histogram.snapshot(),
         "statuses": statuses,
         "engine_batches": batches,
         "queries_answered": answered,

@@ -10,10 +10,12 @@ newline-delimited JSON over TCP.  There is no second place where a query or
 an answer is turned into bytes, so the three surfaces cannot drift apart.
 
 The schema is versioned (:data:`PROTOCOL_VERSION`): every payload carries a
-``version`` field, and a mismatch raises the typed
+``version`` field, and anything outside the supported window
+``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` raises the typed
 :class:`~repro.exceptions.VersionMismatchError` — an old client fails with a
 legible error naming both versions instead of being misread under the wrong
-schema.  All other malformations (unknown kinds, inverted ranges, missing or
+schema.  Version 2 added the ``metrics`` wire op and changed nothing about
+query payloads, so version-1 clients remain fully supported.  All other malformations (unknown kinds, inverted ranges, missing or
 unexpected fields, unparseable JSON) raise
 :class:`~repro.exceptions.ProtocolError`.
 
@@ -34,6 +36,7 @@ from .queries import POINT, QUERY_KINDS
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "QueryRequest",
     "QueryResponse",
     "RequestId",
@@ -46,6 +49,7 @@ __all__ = [
     "OP_PING",
     "OP_INFO",
     "OP_STATS",
+    "OP_METRICS",
     "OP_SHUTDOWN",
     "WIRE_OPS",
     "error_response",
@@ -55,8 +59,16 @@ __all__ = [
     "request_id_of",
 ]
 
-#: Current wire-schema version.  Bump on any incompatible field change.
-PROTOCOL_VERSION = 1
+#: Current wire-schema version.  Bump on any field change; additions that
+#: leave old payloads parseable widen the compat window instead of breaking
+#: old clients.  History: v1 — initial query/control schema (PR 8);
+#: v2 — added the ``metrics`` exposition op (PR 10).
+PROTOCOL_VERSION = 2
+
+#: Oldest wire-schema version this build still accepts.  Payloads are parsed
+#: identically across the window; the window exists so version bumps that
+#: only *add* ops do not strand deployed clients.
+MIN_PROTOCOL_VERSION = 1
 
 #: A client-chosen request identifier, echoed verbatim on the response.
 RequestId = Union[int, str]
@@ -83,8 +95,16 @@ OP_QUERY = "query"
 OP_PING = "ping"
 OP_INFO = "info"
 OP_STATS = "stats"
+OP_METRICS = "metrics"
 OP_SHUTDOWN = "shutdown"
-WIRE_OPS: Tuple[str, ...] = (OP_QUERY, OP_PING, OP_INFO, OP_STATS, OP_SHUTDOWN)
+WIRE_OPS: Tuple[str, ...] = (
+    OP_QUERY,
+    OP_PING,
+    OP_INFO,
+    OP_STATS,
+    OP_METRICS,
+    OP_SHUTDOWN,
+)
 
 _REQUEST_FIELDS = ("version", "id", "kind", "start", "end", "target")
 _RESPONSE_FIELDS = ("version", "id", "status", "answer", "expected_error", "detail")
@@ -93,10 +113,10 @@ _RESPONSE_FIELDS = ("version", "id", "status", "answer", "expected_error", "deta
 def _check_version(version: Any) -> int:
     if not isinstance(version, int) or isinstance(version, bool):
         raise ProtocolError(f"protocol version must be an integer, got {version!r}")
-    if version != PROTOCOL_VERSION:
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
         raise VersionMismatchError(
             f"unsupported protocol version {version} (this build speaks "
-            f"version {PROTOCOL_VERSION})"
+            f"versions {MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION})"
         )
     return version
 
@@ -132,7 +152,8 @@ class QueryRequest:
         Name of the served synopsis to query (``None`` = the daemon's
         default target).
     version:
-        Wire-schema version; anything but :data:`PROTOCOL_VERSION` raises
+        Wire-schema version; anything outside
+        ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` raises
         :class:`~repro.exceptions.VersionMismatchError`.
     """
 

@@ -44,6 +44,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
@@ -52,9 +54,19 @@ import numpy as np
 
 from ..core.spec import SynopsisSpec
 from ..exceptions import ProtocolError, SynopsisError, VersionMismatchError
+from .. import telemetry
+from ..telemetry import (
+    RateLimiter,
+    capture_spans,
+    get_logger,
+    log_event,
+    render_prometheus,
+    span,
+)
 from .engine import BatchQueryEngine
 from .protocol import (
     OP_INFO,
+    OP_METRICS,
     OP_PING,
     OP_QUERY,
     OP_SHUTDOWN,
@@ -62,6 +74,7 @@ from .protocol import (
     PROTOCOL_VERSION,
     STATUS_OVERLOADED,
     STATUS_UNAVAILABLE,
+    WIRE_OPS,
     QueryRequest,
     QueryResponse,
     error_response,
@@ -90,7 +103,10 @@ class DaemonConfig:
     rung of the degradation ladder (rebuild synchronously vs. reject with
     ``unavailable``); ``attribute_errors`` controls whether responses carry
     per-query expected-error mass (costs one exact per-item evaluation per
-    target at warm-up).
+    target at warm-up); ``slow_query_ms`` (``None`` = off) is the forensics
+    threshold — any flush whose wall time reaches it emits one structured
+    JSON record (query, coalesced batch size, degradation-ladder rung, span
+    tree) on the ``repro.daemon.slow_query`` logger.
     """
 
     window_ms: float = 2.0
@@ -102,6 +118,7 @@ class DaemonConfig:
     attribute_errors: bool = True
     allow_remote_shutdown: bool = False
     drain_timeout: float = 10.0
+    slow_query_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.window_ms <= 0:
@@ -111,6 +128,8 @@ class DaemonConfig:
                 raise SynopsisError(f"{name} must be positive")
         if self.drain_timeout <= 0:
             raise SynopsisError("drain_timeout must be positive")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise SynopsisError("slow_query_ms must be non-negative (or None to disable)")
 
 
 @dataclass
@@ -220,6 +239,56 @@ class ServingDaemon:
         self._config = config or DaemonConfig()
         self._fingerprint = fingerprint_data(data)
         self.stats = ServingStats()
+        # Telemetry: the daemon's instruments live in the process-wide gated
+        # registry (start() enables recording); the store's ungated registry
+        # rides along so one `metrics` scrape covers both.  ServingStats
+        # stays the authoritative per-daemon view for the `stats` op; the
+        # instruments are the cumulative process-wide exposition.
+        reg = telemetry.registry()
+        self._m_connections = reg.counter(
+            "repro_daemon_connections_total", "TCP connections accepted"
+        )
+        self._m_requests = reg.counter(
+            "repro_daemon_requests_total", "Wire requests dispatched, by op",
+            labelnames=("op",),
+        )
+        self._m_queries = reg.counter(
+            "repro_daemon_queries_answered_total", "Queries answered with status ok"
+        )
+        self._m_batches = reg.counter(
+            "repro_daemon_engine_batches_total", "Coalesced engine flushes executed"
+        )
+        self._m_batch_size = reg.histogram(
+            "repro_daemon_batch_size",
+            "Queries coalesced into one engine flush",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+        )
+        self._m_flush_ms = reg.histogram(
+            "repro_daemon_flush_latency_ms", "Wall time of one coalesced flush"
+        )
+        self._m_rejections = reg.counter(
+            "repro_daemon_admission_rejections_total",
+            "Queries rejected by admission control, by reason",
+            labelnames=("reason",),
+        )
+        self._m_ladder = reg.counter(
+            "repro_daemon_ladder_total",
+            "Engine resolutions by degradation-ladder rung",
+            labelnames=("rung",),
+        )
+        self._m_evictions = reg.counter(
+            "repro_daemon_engine_evictions_total", "Hot engines evicted by the LRU cap"
+        )
+        self._m_pending = reg.gauge(
+            "repro_daemon_pending_queries", "Queries waiting in micro-batching windows"
+        )
+        self._m_slow = reg.counter(
+            "repro_daemon_slow_queries_total",
+            "Flushes at or above the slow_query_ms threshold",
+        )
+        self._log = get_logger("daemon")
+        self._slow_log = get_logger("daemon.slow_query")
+        self._overload_limiter = RateLimiter(interval_seconds=1.0)
         self._engines: "OrderedDict[str, BatchQueryEngine]" = OrderedDict()
         self._errors: Dict[str, np.ndarray] = {}
         self._domain_sizes: Dict[str, int] = {}
@@ -311,37 +380,49 @@ class ServingDaemon:
         self._engines[name] = engine
         self._engines.move_to_end(name)
         while len(self._engines) > self._config.max_engines:
-            self._engines.popitem(last=False)
+            evicted, _ = self._engines.popitem(last=False)
             self.stats.engine_evictions += 1
+            self._m_evictions.inc()
+            log_event(
+                self._log, logging.INFO, "daemon.engine_evicted",
+                target=evicted, max_engines=self._config.max_engines,
+            )
 
-    def _resolve_engine(self, name: str) -> Optional[BatchQueryEngine]:
-        """One engine for ``name`` via the degradation ladder, or ``None``.
+    def _resolve_engine(self, name: str) -> Tuple[Optional[BatchQueryEngine], str]:
+        """``(engine, rung)`` for ``name`` via the degradation ladder.
 
-        Hot cache -> store re-resolution (the store's own memory LRU may
-        degrade this to a disk/mmap hit) -> optional synchronous rebuild ->
-        ``None`` (the caller answers ``unavailable``).
+        Hot cache (``"hot"``) -> store re-resolution (``"store"``; the
+        store's own memory LRU may degrade this to a disk/mmap hit) ->
+        optional synchronous rebuild (``"build"``) -> ``(None,
+        "unavailable")`` (the caller answers ``unavailable``).  The rung is
+        counted per resolution and carried into the slow-query log.
         """
         engine = self._engines.get(name)
         if engine is not None:
             self._engines.move_to_end(name)
             self.stats.engine_cache_hits += 1
-            return engine
+            self._m_ladder.labels(rung="hot").inc()
+            return engine, "hot"
         spec = self._targets[name]
         synopsis = self._store.get(spec.store_key(self._fingerprint))
         if synopsis is not None:
             self.stats.engine_store_resolutions += 1
+            rung = "store"
         elif self._config.build_on_miss:
             synopsis = self._store.get_or_build(
                 self._data, spec, fingerprint=self._fingerprint
             )
             self.stats.engine_builds += 1
+            rung = "build"
         else:
-            return None
+            self._m_ladder.labels(rung="unavailable").inc()
+            return None, "unavailable"
+        self._m_ladder.labels(rung=rung).inc()
         engine = BatchQueryEngine(
             synopsis, per_item_errors=self._errors.get(name), metric=spec.metric
         )
         self._cache_engine(name, engine)
-        return engine
+        return engine, rung
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -354,6 +435,9 @@ class ServingDaemon:
         """
         if self._server is not None:
             raise SynopsisError("the daemon is already listening")
+        # A listening daemon is the canonical telemetry producer: turn the
+        # gated instruments on so the `metrics` op has data to expose.
+        telemetry.enable()
         self.warm()
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(self._handle_client, host, port)
@@ -362,6 +446,12 @@ class ServingDaemon:
             raise SynopsisError("the daemon failed to bind a socket")
         bound = sockets[0].getsockname()
         self._address = (str(bound[0]), int(bound[1]))
+        log_event(
+            self._log, logging.INFO, "daemon.listen",
+            host=self._address[0], port=self._address[1],
+            targets=sorted(self._targets), window_ms=self._config.window_ms,
+            max_pending=self._config.max_pending,
+        )
         return self._address
 
     async def serve_until_stopped(self) -> None:
@@ -385,6 +475,10 @@ class ServingDaemon:
         self._draining = True
         if self._server is not None:
             self._server.close()
+        log_event(
+            self._log, logging.INFO, "daemon.drain",
+            pending=self._pending_total, connections=len(self._connections),
+        )
         for name, handle in list(self._flush_handles.items()):
             handle.cancel()
             self._flush_handles.pop(name, None)
@@ -408,6 +502,12 @@ class ServingDaemon:
             await asyncio.wait(handler_tasks, timeout=self._config.drain_timeout)
         if self._server is not None:
             await self._server.wait_closed()
+        log_event(
+            self._log, logging.INFO, "daemon.shutdown",
+            drained_queries=drained,
+            queries_answered=self.stats.queries_answered,
+            connections=self.stats.connections,
+        )
         if self._stopped is not None:
             self._stopped.set()
 
@@ -421,6 +521,7 @@ class ServingDaemon:
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         self.stats.connections += 1
+        self._m_connections.inc()
         connection = _Connection(writer=writer)
         self._connections.add(connection)
         task = asyncio.current_task()
@@ -465,6 +566,8 @@ class ServingDaemon:
             await self._send(connection, error_response(request_id_of(line), str(exc)).to_dict())
             return
         op = payload.get("op", OP_QUERY)
+        if op in WIRE_OPS:
+            self._m_requests.labels(op=op).inc()
         if op == OP_QUERY:
             await self._dispatch_query(payload, connection)
         elif op == OP_PING:
@@ -479,6 +582,20 @@ class ServingDaemon:
                     "version": PROTOCOL_VERSION,
                     "stats": self.stats.as_dict(),
                     "store": self._store.stats.as_dict(),
+                },
+            )
+        elif op == OP_METRICS:
+            # One scrape covers the process-wide gated registry (daemon,
+            # engine, span families) and the store's ungated counters.
+            await self._send(
+                connection,
+                {
+                    "op": OP_METRICS,
+                    "version": PROTOCOL_VERSION,
+                    "content_type": telemetry.CONTENT_TYPE,
+                    "body": render_prometheus(
+                        [telemetry.registry(), self._store.metrics]
+                    ),
                 },
             )
         elif op == OP_SHUTDOWN:
@@ -543,13 +660,13 @@ class ServingDaemon:
         # Admission control: explicit overloaded responses, never unbounded
         # queues.  Checked before enqueueing so rejections are immediate.
         if self._draining:
-            self.stats.overloaded += 1
+            self._reject_overloaded(request.id, "draining")
             await self._send(connection, error_response(
                 request.id, "daemon is draining for shutdown", status=STATUS_OVERLOADED
             ).to_dict())
             return
         if connection.inflight >= self._config.max_inflight_per_client:
-            self.stats.overloaded += 1
+            self._reject_overloaded(request.id, "inflight")
             await self._send(connection, error_response(
                 request.id,
                 f"client in-flight cap reached ({self._config.max_inflight_per_client})",
@@ -557,7 +674,7 @@ class ServingDaemon:
             ).to_dict())
             return
         if self._pending_total >= self._config.max_pending:
-            self.stats.overloaded += 1
+            self._reject_overloaded(request.id, "pending")
             await self._send(connection, error_response(
                 request.id,
                 f"server pending queue is full ({self._config.max_pending})",
@@ -569,6 +686,23 @@ class ServingDaemon:
         self._enqueue(target, request, future)
         connection.inflight += 1
         self._track(asyncio.ensure_future(self._respond(connection, future)))
+
+    def _reject_overloaded(self, request_id: Any, reason: str) -> None:
+        """Account one admission-control rejection (stats, metrics, log).
+
+        The overload log is rate-limited per reason — an overloaded daemon
+        must not amplify its own overload with log volume; the suppressed
+        count rides on the next allowed record.
+        """
+        self.stats.overloaded += 1
+        self._m_rejections.labels(reason=reason).inc()
+        if self._overload_limiter.allow(reason):
+            log_event(
+                self._log, logging.WARNING, "daemon.overload",
+                reason=reason, request_id=request_id,
+                pending=self._pending_total,
+                suppressed=self._overload_limiter.drain_suppressed(reason),
+            )
 
     async def _respond(self, connection: _Connection,
                        future: "asyncio.Future[QueryResponse]") -> None:
@@ -586,6 +720,7 @@ class ServingDaemon:
         bucket = self._pending.setdefault(target, [])
         bucket.append((request, future))
         self._pending_total += 1
+        self._m_pending.set(self._pending_total)
         if len(bucket) >= self._config.max_batch:
             handle = self._flush_handles.pop(target, None)
             if handle is not None:
@@ -615,38 +750,83 @@ class ServingDaemon:
         if not pending:
             return
         self._pending_total -= len(pending)
+        self._m_pending.set(self._pending_total)
         requests = [request for request, _ in pending]
-        try:
-            engine = self._resolve_engine(target)
-            if engine is None:
-                self.stats.unavailable += len(pending)
-                responses = [
-                    error_response(
-                        request.id,
-                        f"target {target!r} is not materialised and build_on_miss "
-                        "is disabled",
-                        status=STATUS_UNAVAILABLE,
-                    )
-                    for request in requests
-                ]
-            else:
-                batch = QueryBatch.from_requests(requests)
-                answers = engine.answer(batch)
-                errors = (
-                    engine.attribute_errors(batch) if engine.has_error_attribution else None
-                )
-                responses = responses_for(requests, answers, errors)
-                self.stats.engine_batches += 1
-                self.stats.queries_answered += len(pending)
-                self.stats.largest_batch = max(self.stats.largest_batch, len(pending))
-                if len(pending) > 1:
-                    self.stats.coalesced_queries += len(pending)
-        except Exception as exc:  # noqa: BLE001 - the daemon must not die
-            self.stats.internal_errors += len(pending)
-            responses = [
-                error_response(request.id, f"internal error answering batch: {exc}")
-                for request in requests
-            ]
+        trace_flush = self._config.slow_query_ms is not None
+        started = time.perf_counter()
+        if trace_flush:
+            # Capture the span tree locally (independently of the global
+            # telemetry flag) so a slow flush can be logged with full
+            # per-stage forensics; detach so the tree roots at this flush.
+            with capture_spans(detach=True) as flush_spans:
+                responses, rung = self._answer_pending(target, requests)
+        else:
+            flush_spans = []
+            responses, rung = self._answer_pending(target, requests)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._m_flush_ms.observe(elapsed_ms)
+        if trace_flush and elapsed_ms >= float(self._config.slow_query_ms or 0.0):
+            self._m_slow.inc()
+            log_event(
+                self._slow_log, logging.WARNING, "daemon.slow_query",
+                target=target, batch=len(requests), rung=rung,
+                wall_ms=round(elapsed_ms, 4),
+                threshold_ms=self._config.slow_query_ms,
+                window_ms=self._config.window_ms,
+                queries=[request.to_dict() for request in requests[:8]],
+                spans=[record.to_dict() for record in flush_spans],
+            )
         for (_, future), response in zip(pending, responses):
             if not future.done():
                 future.set_result(response)
+
+    def _answer_pending(
+        self, target: str, requests: List[QueryRequest]
+    ) -> Tuple[List[QueryResponse], str]:
+        """Resolve and answer one coalesced batch; never raises.
+
+        Returns the per-query responses plus the degradation-ladder rung the
+        engine came from (``"error"`` when the batch failed internally).
+        """
+        rung = "error"
+        with span("daemon.flush", target=target, batch=len(requests)) as trace:
+            try:
+                with span("daemon.resolve_engine", target=target):
+                    engine, rung = self._resolve_engine(target)
+                if engine is None:
+                    self.stats.unavailable += len(requests)
+                    responses = [
+                        error_response(
+                            request.id,
+                            f"target {target!r} is not materialised and build_on_miss "
+                            "is disabled",
+                            status=STATUS_UNAVAILABLE,
+                        )
+                        for request in requests
+                    ]
+                else:
+                    with span("daemon.answer", batch=len(requests)):
+                        batch = QueryBatch.from_requests(requests)
+                        answers = engine.answer(batch)
+                        errors = (
+                            engine.attribute_errors(batch)
+                            if engine.has_error_attribution
+                            else None
+                        )
+                        responses = responses_for(requests, answers, errors)
+                    self.stats.engine_batches += 1
+                    self.stats.queries_answered += len(requests)
+                    self._m_batches.inc()
+                    self._m_queries.inc(len(requests))
+                    self._m_batch_size.observe(len(requests))
+                    self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
+                    if len(requests) > 1:
+                        self.stats.coalesced_queries += len(requests)
+            except Exception as exc:  # noqa: BLE001 - the daemon must not die
+                self.stats.internal_errors += len(requests)
+                responses = [
+                    error_response(request.id, f"internal error answering batch: {exc}")
+                    for request in requests
+                ]
+            trace.set(rung=rung)
+        return responses, rung

@@ -58,6 +58,7 @@ from ..io import model_to_dict, synopsis_from_dict, synopsis_to_dict
 from ..io.binary_format import SynopsisPack
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
+from ..telemetry import MetricsRegistry, span
 
 __all__ = ["SynopsisStore", "StoreStats", "fingerprint_data", "STORE_FORMATS"]
 
@@ -147,9 +148,17 @@ def fingerprint_data(data) -> str:
     return digest
 
 
-@dataclass
 class StoreStats:
-    """Counters (and timers) describing how the store has been used.
+    """Read-through view over the store's telemetry instruments.
+
+    The ``repro_store_*`` metric families in the store's
+    :class:`~repro.telemetry.MetricsRegistry` are the canonical counters;
+    this class keeps the pre-telemetry surface (attribute reads,
+    ``as_dict``) intact on top of them, so ``query --stats`` output and
+    every existing caller are unchanged while the daemon's ``metrics`` op
+    exposes the very same numbers.  The registry is *ungated*: store
+    accounting is load-bearing (benchmarks, ``--stats``) whether or not
+    telemetry exposition is enabled.
 
     Beyond the hit/miss counts, the store accumulates where wall-clock time
     goes — ``build_seconds`` inside the DP builder on misses,
@@ -159,24 +168,97 @@ class StoreStats:
     rather than a single undifferentiated number.
     """
 
-    builds: int = 0
-    memory_hits: int = 0
-    disk_hits: int = 0
-    puts: int = 0
-    evictions: int = 0
-    build_seconds: float = 0.0
-    disk_load_seconds: float = 0.0
-    disk_hits_by_backend: Dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry(gated=False)
+        reg = self.registry
+        self._builds = reg.counter(
+            "repro_store_builds_total", "Cache-miss synopsis builds (DP runs)"
+        )
+        self._memory_hits = reg.counter(
+            "repro_store_memory_hits_total", "Lookups served from resident memory"
+        )
+        self._disk_hits = reg.counter(
+            "repro_store_disk_hits_total",
+            "Lookups served from the disk layer, by backend",
+            labelnames=("backend",),
+        )
+        self._puts = reg.counter(
+            "repro_store_puts_total", "Entries inserted into the store"
+        )
+        self._evictions = reg.counter(
+            "repro_store_evictions_total", "LRU evictions from the memory layer"
+        )
+        self._build_seconds = reg.counter(
+            "repro_store_build_seconds_total",
+            "Wall time spent inside cache-miss builds",
+        )
+        self._disk_load_seconds = reg.counter(
+            "repro_store_disk_load_seconds_total",
+            "Wall time spent deserialising disk hits",
+        )
+
+    # -- read-through attribute surface (unchanged from the dataclass) ---
+    @property
+    def builds(self) -> int:
+        return int(self._builds.value)
+
+    @property
+    def memory_hits(self) -> int:
+        return int(self._memory_hits.value)
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(self.disk_hits_by_backend.values())
+
+    @property
+    def disk_hits_by_backend(self) -> Dict[str, int]:
+        return {
+            labels["backend"]: int(child.value)  # type: ignore[union-attr]
+            for labels, child in self._disk_hits.samples()
+        }
+
+    @property
+    def puts(self) -> int:
+        return int(self._puts.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @property
+    def build_seconds(self) -> float:
+        return self._build_seconds.value
+
+    @property
+    def disk_load_seconds(self) -> float:
+        return self._disk_load_seconds.value
 
     @property
     def lookups(self) -> int:
         """Total ``get_or_build`` calls served."""
         return self.builds + self.memory_hits + self.disk_hits
 
+    # -- recording (the store's single mutation surface) -----------------
+    def record_build(self, seconds: float) -> None:
+        """Record one cache-miss build and its wall time."""
+        self._builds.inc()
+        self._build_seconds.inc(seconds)
+
+    def record_memory_hit(self) -> None:
+        self._memory_hits.inc()
+
     def count_disk_hit(self, backend: str) -> None:
         """Record one disk hit served by ``backend``."""
-        self.disk_hits += 1
-        self.disk_hits_by_backend[backend] = self.disk_hits_by_backend.get(backend, 0) + 1
+        self._disk_hits.labels(backend=backend).inc()
+
+    def add_disk_load_seconds(self, seconds: float) -> None:
+        self._disk_load_seconds.inc(seconds)
+
+    def record_put(self) -> None:
+        self._puts.inc()
+
+    def record_eviction(self) -> None:
+        self._evictions.inc()
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -190,6 +272,9 @@ class StoreStats:
             "disk_load_seconds": self.disk_load_seconds,
             "disk_hits_by_backend": dict(self.disk_hits_by_backend),
         }
+
+    def __repr__(self) -> str:
+        return f"StoreStats({self.as_dict()!r})"
 
 
 @dataclass
@@ -359,7 +444,10 @@ class SynopsisStore:
                 self._disk = _ColumnarDiskBackend(self._directory)
             else:
                 self._disk = _JsonDiskBackend(self._directory)
-        self.stats = StoreStats()
+        #: Per-store ungated registry holding the canonical ``repro_store_*``
+        #: counters; the daemon merges it into its ``metrics`` exposition.
+        self.metrics = MetricsRegistry(gated=False)
+        self.stats = StoreStats(self.metrics)
 
     @property
     def format(self) -> str:
@@ -373,7 +461,7 @@ class SynopsisStore:
         if self._max_memory_entries is not None:
             while len(self._memory) > self._max_memory_entries:
                 self._memory.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
 
     # ------------------------------------------------------------------
     # Keying — every key is derived from a SynopsisSpec
@@ -444,9 +532,10 @@ class SynopsisStore:
             return entry.synopsis
         if self._disk is not None:
             start = time.perf_counter()
-            loaded = self._disk.load(key)
+            with span("store.disk_load", backend=self._disk.name):
+                loaded = self._disk.load(key)
             if loaded is not None:
-                self.stats.disk_load_seconds += time.perf_counter() - start
+                self.stats.add_disk_load_seconds(time.perf_counter() - start)
                 synopsis, config = loaded
                 self._remember(key, _Entry(key, synopsis, config))
                 return synopsis
@@ -456,7 +545,7 @@ class SynopsisStore:
         """Insert a synopsis under an explicit key (memory and, if set, disk)."""
         config = dict(config or {})
         self._remember(key, _Entry(key, synopsis, config))
-        self.stats.puts += 1
+        self.stats.record_put()
         if self._disk is not None:
             self._disk.store(key, synopsis, config)
 
@@ -493,7 +582,7 @@ class SynopsisStore:
     def _lookup(self, key: str) -> Optional[Synopsis]:
         """One keyed lookup with stats attribution (memory, then disk)."""
         if key in self._memory:
-            self.stats.memory_hits += 1
+            self.stats.record_memory_hit()
             self._memory.move_to_end(key)
             return self._memory[key].synopsis
         cached = self.get(key)
@@ -515,25 +604,27 @@ class SynopsisStore:
         """
         if fingerprint is None:
             fingerprint = fingerprint_data(data)
-        keys = {budget: spec.store_key(fingerprint, budget) for budget in spec.budgets}
-        found: Dict[int, Synopsis] = {}
-        for budget, key in keys.items():
-            cached = self._lookup(key)
-            if cached is not None:
-                found[budget] = cached
-        missing = [budget for budget in spec.budgets if budget not in found]
-        if missing:
-            # Build only the missing budgets (one DP run sized to their
-            # maximum); cached budgets keep being served from the cache.
-            start = time.perf_counter()
-            built = build(data, spec.with_budget(tuple(missing)))
-            self.stats.build_seconds += time.perf_counter() - start
-            self.stats.builds += 1
-            for budget, synopsis in zip(missing, built):
-                self.put(keys[budget], synopsis, spec.canonical(budget))
-                found[budget] = synopsis
-        results = [found[budget] for budget in spec.budgets]
-        return results if spec.is_sweep else results[0]
+        with span("store.get_or_build", kind=spec.kind) as trace:
+            keys = {budget: spec.store_key(fingerprint, budget) for budget in spec.budgets}
+            found: Dict[int, Synopsis] = {}
+            for budget, key in keys.items():
+                cached = self._lookup(key)
+                if cached is not None:
+                    found[budget] = cached
+            missing = [budget for budget in spec.budgets if budget not in found]
+            trace.set(hits=len(found), misses=len(missing))
+            if missing:
+                # Build only the missing budgets (one DP run sized to their
+                # maximum); cached budgets keep being served from the cache.
+                start = time.perf_counter()
+                with span("store.build", budgets=len(missing)):
+                    built = build(data, spec.with_budget(tuple(missing)))
+                self.stats.record_build(time.perf_counter() - start)
+                for budget, synopsis in zip(missing, built):
+                    self.put(keys[budget], synopsis, spec.canonical(budget))
+                    found[budget] = synopsis
+            results = [found[budget] for budget in spec.budgets]
+            return results if spec.is_sweep else results[0]
 
     def get_or_build(
         self,

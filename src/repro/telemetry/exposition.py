@@ -1,0 +1,193 @@
+"""Prometheus text exposition format v0.0.4: render and (for tests/CLI) parse.
+
+The renderer emits every registered family with ``# HELP`` / ``# TYPE``
+headers even when no samples exist yet, so a scrape taken right after daemon
+start already shows the full instrument surface.  Histograms render the
+standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+
+The parser is deliberately strict about line shape (it backs the CI
+"Prometheus-parseable" assertion) but only models what the renderer emits:
+``# HELP``/``# TYPE`` comments, sample lines with optional labels, and the
+histogram suffix convention.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricFamily",
+    "parse_prometheus_text",
+    "render_prometheus",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(c, c) for c in value)
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    registries: Union[MetricsRegistry, Iterable[MetricsRegistry]],
+) -> str:
+    """Render one or more registries to exposition text (first name wins)."""
+    if isinstance(registries, MetricsRegistry):
+        registries = [registries]
+    lines: List[str] = []
+    seen: set = set()
+    for reg in registries:
+        for instrument in reg.instruments():
+            if instrument.name in seen:
+                continue
+            seen.add(instrument.name)
+            lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            for labels, child in instrument.samples():
+                if isinstance(child, Histogram):
+                    cumulative = child.cumulative_counts()
+                    bounds = [_format_value(b) for b in child.buckets] + ["+Inf"]
+                    for bound, count in zip(bounds, cumulative):
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = bound
+                        lines.append(
+                            f"{instrument.name}_bucket{_label_str(bucket_labels)} {count}"
+                        )
+                    lines.append(
+                        f"{instrument.name}_sum{_label_str(labels)} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(
+                        f"{instrument.name}_count{_label_str(labels)} {child.count}"
+                    )
+                elif isinstance(child, (Counter, Gauge)):
+                    lines.append(
+                        f"{instrument.name}{_label_str(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+    return "\n".join(lines) + "\n"
+
+
+class MetricFamily:
+    """One parsed family: its declared type and raw samples."""
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = ""
+        #: ``(sample_name, labels, value)`` triples in document order.
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def __repr__(self) -> str:
+        return f"MetricFamily({self.name!r}, {self.kind!r}, {len(self.samples)} samples)"
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+\d+)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, MetricFamily]:
+    """Parse exposition text into families; raises ``ValueError`` when malformed.
+
+    Histogram ``_bucket``/``_sum``/``_count`` samples are attributed to their
+    base family.  Samples for a name never declared by ``# TYPE`` get an
+    implicit ``untyped`` family, matching Prometheus semantics.
+    """
+    families: Dict[str, MetricFamily] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                name = parts[2]
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                        "summary",
+                        "untyped",
+                    ):
+                        raise ValueError(f"line {lineno}: malformed TYPE line {raw!r}")
+                    if name in families and families[name].kind != "untyped":
+                        raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+                    kind = parts[3]
+                    family = families.get(name)
+                    if family is None:
+                        families[name] = MetricFamily(name, kind)
+                    else:
+                        family.kind = kind
+                elif parts[1] == "HELP":
+                    family = families.setdefault(name, MetricFamily(name, "untyped"))
+                    family.help = parts[3] if len(parts) == 4 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line {raw!r}")
+        sample_name, label_blob, value_text = match.groups()
+        labels: Dict[str, str] = {}
+        if label_blob:
+            consumed = 0
+            for m in _LABEL_RE.finditer(label_blob):
+                labels[m.group(1)] = _unescape_label(m.group(2))
+                consumed = m.end()
+            rest = label_blob[consumed:].strip().strip(",")
+            if rest:
+                raise ValueError(f"line {lineno}: malformed labels {label_blob!r}")
+        try:
+            value = _parse_value(value_text)
+        except ValueError:
+            raise ValueError(f"line {lineno}: malformed value {value_text!r}") from None
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if candidate and candidate in families and families[candidate].kind == "histogram":
+                base = candidate
+                break
+        family = families.setdefault(base, MetricFamily(base, "untyped"))
+        family.samples.append((sample_name, labels, value))
+    return families

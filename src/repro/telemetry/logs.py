@@ -1,0 +1,119 @@
+"""The single logging config point: structured JSON lines for the `repro` tree.
+
+Library code logs through :func:`get_logger` / :func:`log_event` and stays
+silent until an application entry point (``repro serve``) calls
+:func:`configure_logging`.  Every record renders as one JSON object per line
+— machine-greppable daemon lifecycle events and the slow-query forensics
+stream share the same pipe.
+
+:func:`log_event` attaches structured fields on the record (not interpolated
+into the message), so handlers installed by test harnesses (``caplog``) can
+assert on them directly via ``record.event_fields``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from datetime import datetime, timezone
+from typing import IO, Any, Dict, Optional
+
+__all__ = [
+    "JsonLineFormatter",
+    "RateLimiter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]
+
+_ROOT_NAME = "repro"
+
+# Library hygiene: without an application handler, records vanish quietly
+# instead of tripping logging's last-resort stderr handler.
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": datetime.fromtimestamp(record.created, tz=timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
+    """A logger under the ``repro`` tree (prefixing applied when missing)."""
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event with machine-readable fields attached."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event_fields": fields})
+
+
+def configure_logging(
+    level: str = "info", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install (or replace) the JSON line handler on the ``repro`` logger.
+
+    Idempotent: calling again swaps the previous telemetry handler rather
+    than stacking a second one, so tests and long-lived processes can
+    reconfigure freely.  Returns the configured root ``repro`` logger.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(numeric)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter())
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger
+
+
+class RateLimiter:
+    """At most one allowed event per key per interval — overload logs must
+    not amplify the overload they describe."""
+
+    def __init__(self, interval_seconds: float = 1.0) -> None:
+        self._interval = float(interval_seconds)
+        self._last: Dict[str, float] = {}
+        #: Events swallowed since the last allowed one, by key.
+        self.suppressed: Dict[str, int] = {}
+
+    def allow(self, key: str, now: Optional[float] = None) -> bool:
+        stamp = time.monotonic() if now is None else now
+        last = self._last.get(key)
+        if last is not None and stamp - last < self._interval:
+            self.suppressed[key] = self.suppressed.get(key, 0) + 1
+            return False
+        self._last[key] = stamp
+        return True
+
+    def drain_suppressed(self, key: str) -> int:
+        """How many events were swallowed for ``key`` since last drain."""
+        return self.suppressed.pop(key, 0)

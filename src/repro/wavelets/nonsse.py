@@ -51,6 +51,7 @@ from ..core.wavelet import WaveletSynopsis
 from ..exceptions import SynopsisError
 from ..models.base import ProbabilisticModel
 from ..models.frequency import FrequencyDistributions
+from ..telemetry import span
 from .coefficients import expected_coefficients
 from .haar import next_power_of_two, normalisation_factors
 from .leaf_errors import expected_leaf_errors, leaf_weight_vector
@@ -219,6 +220,10 @@ class RestrictedWaveletDP:
         """
         if self._cap is not None and self._cap >= cap:
             return
+        with span("build.wavelet_dp", cap=cap, n=self._length):
+            self._tabulate_levels(cap)
+
+    def _tabulate_levels(self, cap: int) -> None:
         width = cap + 1
 
         if self._length == 1:
@@ -240,45 +245,48 @@ class RestrictedWaveletDP:
 
         self._ensure_structure()
         child_table: np.ndarray = self._leaf_errors  # leaf level: budget-free
+        depth = len(self._levels)
         for level in reversed(self._levels):
+            depth -= 1
             rows = level.node_of_row.size
-            table = np.empty((rows, width))
-            choice = np.empty((rows, width), dtype=np.int32)
-            chunk = max(1, _CELL_BUDGET // max(1, 2 * cap + 1))
-            for start in range(0, rows, chunk):
-                stop = min(start + chunk, rows)
-                block = slice(start, stop)
-                tl0 = child_table[level.left0[block]]
-                tl1 = child_table[level.left1[block]]
-                tr0 = child_table[level.right0[block]]
-                tr1 = child_table[level.right1[block]]
-                if child_table.ndim == 1:
-                    # Children are leaves: errors are budget-free, so every
-                    # budget split is the same candidate and the choice is
-                    # only retain-or-not (not-retain winning exact ties).
-                    base0 = self._combine(tl0, tr0)
-                    base1 = self._combine(tl1, tr1)
-                    table[block, 0] = base0
-                    choice[block, 0] = 0
-                    if cap >= 1:
-                        keep = base1 < base0
-                        table[block, 1:] = np.where(keep, base1, base0)[:, None]
-                        for b in range(1, width):
-                            choice[block, b] = np.where(keep, b + 1, 0)
-                else:
-                    # Candidates for budget b, in the reference's order:
-                    # skip this coefficient with every split bl + br = b,
-                    # then retain it with every split bl + br = b - 1.
-                    for b in range(width):
-                        cands = np.empty((stop - start, 2 * b + 1))
-                        self._combine(tl0[:, : b + 1], tr0[:, b::-1], out=cands[:, : b + 1])
-                        if b >= 1:
-                            self._combine(tl1[:, :b], tr1[:, b - 1 :: -1], out=cands[:, b + 1 :])
-                        choice[block, b] = np.argmin(cands, axis=1)
-                        table[block, b] = np.min(cands, axis=1)
-            level.table = table
-            level.choice = choice
-            child_table = table
+            with span("build.wavelet_level", depth=depth, rows=rows):
+                table = np.empty((rows, width))
+                choice = np.empty((rows, width), dtype=np.int32)
+                chunk = max(1, _CELL_BUDGET // max(1, 2 * cap + 1))
+                for start in range(0, rows, chunk):
+                    stop = min(start + chunk, rows)
+                    block = slice(start, stop)
+                    tl0 = child_table[level.left0[block]]
+                    tl1 = child_table[level.left1[block]]
+                    tr0 = child_table[level.right0[block]]
+                    tr1 = child_table[level.right1[block]]
+                    if child_table.ndim == 1:
+                        # Children are leaves: errors are budget-free, so every
+                        # budget split is the same candidate and the choice is
+                        # only retain-or-not (not-retain winning exact ties).
+                        base0 = self._combine(tl0, tr0)
+                        base1 = self._combine(tl1, tr1)
+                        table[block, 0] = base0
+                        choice[block, 0] = 0
+                        if cap >= 1:
+                            keep = base1 < base0
+                            table[block, 1:] = np.where(keep, base1, base0)[:, None]
+                            for b in range(1, width):
+                                choice[block, b] = np.where(keep, b + 1, 0)
+                    else:
+                        # Candidates for budget b, in the reference's order:
+                        # skip this coefficient with every split bl + br = b,
+                        # then retain it with every split bl + br = b - 1.
+                        for b in range(width):
+                            cands = np.empty((stop - start, 2 * b + 1))
+                            self._combine(tl0[:, : b + 1], tr0[:, b::-1], out=cands[:, : b + 1])
+                            if b >= 1:
+                                self._combine(tl1[:, :b], tr1[:, b - 1 :: -1], out=cands[:, b + 1 :])
+                            choice[block, b] = np.argmin(cands, axis=1)
+                            table[block, b] = np.min(cands, axis=1)
+                level.table = table
+                level.choice = choice
+                child_table = table
 
         # Root: spend one unit on the overall average c_0 or not.
         row0, row1 = self._root_rows

@@ -218,6 +218,77 @@ class TestServeAndLoadgen:
         assert main(["loadgen", "--connect", "127.0.0.1:9", "--queries", "10"]) == 2
         assert "no daemon is listening" in capsys.readouterr().err
 
+
+class TestTelemetryCommand:
+    def test_serve_then_scrape_validates_and_writes_the_exposition(
+        self, model_path, tmp_path, capsys
+    ):
+        import threading
+        import time
+
+        from repro.telemetry import parse_prometheus_text
+
+        store = tmp_path / "store"
+        ready = tmp_path / "ready.txt"
+        scrape = tmp_path / "metrics.prom"
+        serve_args = ["serve", "--input", str(model_path), "--store", str(store),
+                      "--budget", "6", "--port", "0", "--ready-file", str(ready),
+                      "--allow-remote-shutdown", "--log-level", "warning",
+                      "--slow-query-ms", "250"]
+        server = threading.Thread(target=main, args=(serve_args,), daemon=True)
+        server.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert ready.exists(), "the daemon never wrote its ready file"
+
+        assert main(["telemetry", "--connect", ready.read_text(),
+                     "--min-families", "12",
+                     "--require", "repro_daemon_queries_answered_total",
+                     "--require", "repro_store_builds_total",
+                     "--output", str(scrape)]) == 0
+        out = capsys.readouterr().out
+        assert "metric families" in out
+        assert f"wrote {scrape}" in out
+
+        # The written scrape is strict Prometheus v0.0.4 text.
+        families = parse_prometheus_text(scrape.read_text())
+        assert len(families) >= 12
+        assert "repro_daemon_queries_answered_total" in families
+
+        assert main(["loadgen", "--connect", ready.read_text(),
+                     "--levels", "1", "--queries", "10", "--shutdown"]) == 0
+        server.join(timeout=30.0)
+        assert not server.is_alive()
+
+    def test_missing_required_family_is_an_error(self, model_path, tmp_path, capsys):
+        import threading
+        import time
+
+        store = tmp_path / "store"
+        ready = tmp_path / "ready.txt"
+        serve_args = ["serve", "--input", str(model_path), "--store", str(store),
+                      "--budget", "6", "--port", "0", "--ready-file", str(ready),
+                      "--allow-remote-shutdown"]
+        server = threading.Thread(target=main, args=(serve_args,), daemon=True)
+        server.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert ready.exists()
+        try:
+            assert main(["telemetry", "--connect", ready.read_text(),
+                         "--require", "not_a_real_family_total"]) == 2
+            assert "not_a_real_family_total" in capsys.readouterr().err
+        finally:
+            main(["loadgen", "--connect", ready.read_text(),
+                  "--levels", "1", "--queries", "5", "--shutdown"])
+            server.join(timeout=30.0)
+
+    def test_scrape_without_daemon_is_an_error(self, capsys):
+        assert main(["telemetry", "--connect", "127.0.0.1:9"]) == 2
+        assert "no daemon is listening" in capsys.readouterr().err
+
     def test_loadgen_verify_needs_the_build_flags(self, capsys):
         assert main(["loadgen", "--connect", "127.0.0.1:9", "--verify"]) == 2
         assert "--verify" in capsys.readouterr().err

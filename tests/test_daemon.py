@@ -500,3 +500,172 @@ class TestLoadgenHarness:
         assert verification["max_abs_diff"] == 0.0
         assert report["shutdown"] == "draining"
         assert report["server_stats"]["queries_answered"] > 0
+
+
+class TestTelemetryIntegration:
+    """The wire ``metrics`` op, the loadgen latency histogram, and the
+    structured slow-query log."""
+
+    REQUIRED_FAMILIES = (
+        "repro_daemon_connections_total",
+        "repro_daemon_requests_total",
+        "repro_daemon_queries_answered_total",
+        "repro_daemon_engine_batches_total",
+        "repro_daemon_batch_size",
+        "repro_daemon_flush_latency_ms",
+        "repro_daemon_admission_rejections_total",
+        "repro_daemon_ladder_total",
+        "repro_daemon_engine_evictions_total",
+        "repro_daemon_pending_queries",
+        "repro_daemon_slow_queries_total",
+        "repro_engine_batches_total",
+        "repro_engine_batch_latency_ms",
+        "repro_store_builds_total",
+        "repro_store_memory_hits_total",
+        "repro_span_total",
+        "repro_span_wall_seconds_total",
+    )
+
+    def test_metrics_op_exposes_parseable_families(self, daemon_factory):
+        from repro.service import OP_METRICS
+        from repro.telemetry import CONTENT_TYPE, parse_prometheus_text
+
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                for position in range(6):
+                    await client.query(QueryRequest.point(f"q{position}", position))
+                return await client.round_trip({"op": OP_METRICS})
+            finally:
+                await client.close()
+
+        reply = run(_with_daemon(daemon, body))
+        assert reply["op"] == OP_METRICS
+        assert reply["version"] == PROTOCOL_VERSION
+        assert reply["content_type"] == CONTENT_TYPE
+        families = parse_prometheus_text(reply["body"])
+        # The acceptance bar: at least 12 families, strictly parseable.
+        assert len(families) >= 12
+        for name in self.REQUIRED_FAMILIES:
+            assert name in families, f"family {name} missing from the scrape"
+        # The process-global counters are cumulative across daemons, so the
+        # assertions on values go through the daemon-lifetime ServingStats
+        # cross-check instead of absolute sample values.
+        ladder = families["repro_daemon_ladder_total"]
+        rungs = {labels["rung"] for _, labels, _ in ladder.samples}
+        assert "hot" in rungs  # the warmed engines answered from cache
+
+    def test_build_spans_reach_the_metric_families(self, daemon_factory):
+        """Warming the daemon's targets runs real builds under the global
+        telemetry flag, so per-stage span families carry build stages."""
+        from repro.service import OP_METRICS
+        from repro.telemetry import parse_prometheus_text
+
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                return await client.round_trip({"op": OP_METRICS})
+            finally:
+                await client.close()
+
+        reply = run(_with_daemon(daemon, body))
+        families = parse_prometheus_text(reply["body"])
+        spans = {
+            labels["span"]
+            for _, labels, _ in families["repro_span_total"].samples
+        }
+        assert {"build.synopsis", "store.get_or_build", "store.build"} <= spans
+
+    def test_loadgen_reports_per_bucket_latency_histograms(self, daemon_factory):
+        from repro.telemetry import LATENCY_BUCKETS_MS
+
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            return await run_loadgen(
+                host, port, levels=[2], queries_per_level=40, seed=9,
+            )
+
+        report = run(_with_daemon(daemon, body))
+        histogram = report["levels"][0]["latency_histogram"]
+        assert histogram["upper_bounds"] == list(LATENCY_BUCKETS_MS)
+        assert len(histogram["counts"]) == len(LATENCY_BUCKETS_MS) + 1
+        assert histogram["count"] == sum(histogram["counts"]) == 40
+        assert histogram["p50"] <= histogram["p95"] <= histogram["p99"]
+        json.dumps(report)  # the whole report stays JSON-serialisable
+
+    def test_slow_query_log_carries_the_span_tree(self, daemon_factory, caplog):
+        daemon, _ = daemon_factory(
+            config=DaemonConfig(window_ms=1.0, slow_query_ms=0.0)
+        )
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                response = await client.query(QueryRequest.point("slow", 5))
+                assert response.ok
+            finally:
+                await client.close()
+
+        with caplog.at_level("WARNING", logger="repro.daemon.slow_query"):
+            run(_with_daemon(daemon, body))
+        records = [
+            record for record in caplog.records
+            if record.getMessage() == "daemon.slow_query"
+        ]
+        assert records, "a 0ms threshold must flag every flush"
+        fields = records[0].event_fields
+        assert fields["target"] == "default"
+        assert fields["batch"] >= 1
+        assert fields["rung"] == "hot"
+        assert fields["wall_ms"] >= 0.0
+        assert fields["threshold_ms"] == 0.0
+        assert fields["queries"][0]["id"] == "slow"
+        trees = fields["spans"]
+        assert [tree["name"] for tree in trees] == ["daemon.flush"]
+        children = {child["name"] for child in trees[0]["children"]}
+        assert {"daemon.resolve_engine", "daemon.answer"} <= children
+        json.dumps(fields)  # the record is one JSON-safe object
+
+    def test_no_slow_query_log_without_a_threshold(self, daemon_factory, caplog):
+        daemon, _ = daemon_factory(config=DaemonConfig(window_ms=1.0))
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                await client.query(QueryRequest.point("fast", 5))
+            finally:
+                await client.close()
+
+        with caplog.at_level("WARNING", logger="repro.daemon.slow_query"):
+            run(_with_daemon(daemon, body))
+        assert not [
+            record for record in caplog.records
+            if record.getMessage() == "daemon.slow_query"
+        ]
+
+    def test_lifecycle_events_are_logged(self, daemon_factory, caplog):
+        daemon, _ = daemon_factory()
+
+        async def body(host, port):
+            client = await LoadgenClient.connect(host, port)
+            try:
+                await client.query(QueryRequest.point("q", 1))
+            finally:
+                await client.close()
+
+        with caplog.at_level("INFO", logger="repro.daemon"):
+            run(_with_daemon(daemon, body))
+        events = [record.getMessage() for record in caplog.records]
+        assert "daemon.listen" in events
+        assert "daemon.drain" in events
+        assert "daemon.shutdown" in events
+        listen = next(
+            record for record in caplog.records
+            if record.getMessage() == "daemon.listen"
+        )
+        assert listen.event_fields["targets"] == ["default", "wave"]

@@ -100,6 +100,44 @@ class TestQueryRequest:
         assert request_id_of('{"id": true}') is None
 
 
+class TestVersionWindow:
+    """Protocol v2 still speaks to v1 clients: an accepted-version range."""
+
+    def test_current_and_minimum_versions_are_a_sane_window(self):
+        from repro.service import MIN_PROTOCOL_VERSION
+
+        assert MIN_PROTOCOL_VERSION <= PROTOCOL_VERSION
+        assert MIN_PROTOCOL_VERSION == 1
+        assert PROTOCOL_VERSION == 2
+
+    def test_every_version_in_the_window_is_accepted(self):
+        from repro.service import MIN_PROTOCOL_VERSION
+
+        base = {"id": "q", "kind": "point", "start": 0, "end": 0}
+        for version in range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1):
+            request = QueryRequest.from_dict({**base, "version": version})
+            # Round trips are exact: the client's version is preserved, and
+            # parsing it back through the window succeeds.
+            assert request.version == version
+            assert QueryRequest.from_dict(request.to_dict()) == request
+        # Freshly constructed payloads (daemon responses) speak the current
+        # version.
+        assert QueryRequest.point("q", 0).version == PROTOCOL_VERSION
+
+    @pytest.mark.parametrize("version", [0, PROTOCOL_VERSION + 1, 99, -1])
+    def test_versions_outside_the_window_are_rejected(self, version):
+        base = {"id": "q", "kind": "point", "start": 0, "end": 0}
+        with pytest.raises(VersionMismatchError, match="unsupported protocol version"):
+            QueryRequest.from_dict({**base, "version": version})
+
+    def test_responses_also_enforce_the_window(self):
+        payload = QueryResponse(id="q", answer=1.0).to_dict()
+        assert payload["version"] == PROTOCOL_VERSION
+        assert QueryResponse.from_dict({**payload, "version": 1}).id == "q"
+        with pytest.raises(VersionMismatchError):
+            QueryResponse.from_dict({**payload, "version": PROTOCOL_VERSION + 1})
+
+
 class TestQueryResponse:
     def test_ok_round_trip_is_exact(self):
         response = QueryResponse(id=3, answer=1.2345678901234567, expected_error=0.25)
